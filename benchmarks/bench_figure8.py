@@ -1,0 +1,56 @@
+"""Benchmark for Figure 8: Auction(n) scalability of robustness detection.
+
+The paper's Figure 8 plots detection time and summary-graph size against
+the scaling factor n.  Each benchmark case runs the complete pipeline —
+``Unfold≤2`` → Algorithm 1 → Algorithm 2 — for one n and asserts the
+closed-form edge count ``9n² + 8n`` (n counterflow) plus robustness.
+"""
+
+import pytest
+
+from repro.btp.unfold import unfold
+from repro.detection.typeii import is_robust_type2
+from repro.experiments import expected
+from repro.summary.construct import construct_summary_graph
+from repro.summary.settings import ATTR_DEP_FK
+from repro.workloads import auction_n
+
+SCALES = [1, 2, 4, 8, 16, 32]
+
+
+@pytest.mark.parametrize("n", SCALES)
+def test_auction_n_detection(benchmark, n):
+    workload = auction_n(n)
+
+    def detect():
+        ltps = unfold(workload.programs)
+        graph = construct_summary_graph(ltps, workload.schema, ATTR_DEP_FK)
+        return graph, is_robust_type2(graph)
+
+    graph, robust = benchmark.pedantic(detect, rounds=3, iterations=1)
+    assert robust  # Section 7.3: Auction(n) is robust for every n
+    assert graph.edge_count == expected.auction_n_edges(n)
+    assert graph.counterflow_count == expected.auction_n_counterflow(n)
+
+
+@pytest.mark.parametrize("n", [4, 16])
+def test_auction_n_construction_only(benchmark, n):
+    """Isolates Algorithm 1 (the dominant cost as the graph grows)."""
+    workload = auction_n(n)
+    ltps = unfold(workload.programs)
+
+    def construct():
+        return construct_summary_graph(ltps, workload.schema, ATTR_DEP_FK)
+
+    graph = benchmark(construct)
+    assert graph.edge_count == expected.auction_n_edges(n)
+
+
+@pytest.mark.parametrize("n", [4, 16])
+def test_auction_n_cycle_test_only(benchmark, n):
+    """Isolates Algorithm 2 given a prebuilt summary graph."""
+    workload = auction_n(n)
+    graph = construct_summary_graph(
+        unfold(workload.programs), workload.schema, ATTR_DEP_FK
+    )
+    assert benchmark(is_robust_type2, graph)

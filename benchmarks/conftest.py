@@ -1,0 +1,10 @@
+"""Shared benchmark fixtures."""
+
+import pytest
+
+from repro.workloads import auction, smallbank, tpcc
+
+
+@pytest.fixture(scope="session")
+def workloads_by_name():
+    return {"SmallBank": smallbank(), "TPC-C": tpcc(), "Auction": auction()}

@@ -1,0 +1,93 @@
+"""Bring your own workload: analyze custom SQL programs for MVRC safety.
+
+A small ticket-booking application built from scratch against the public
+API: define the schema, write the programs in SQL, annotate foreign keys,
+analyze, and export the summary graph as Graphviz DOT.
+
+Run with:  python examples/custom_workload.py
+"""
+
+from repro import (
+    ATTR_DEP_FK,
+    BTP,
+    FKConstraint,
+    ForeignKey,
+    Relation,
+    Schema,
+    analyze,
+)
+from repro.sqlfront import parse_program
+from repro.viz import to_dot
+
+schema = Schema(
+    relations=[
+        Relation("Event", ["event_id", "name", "seats_left"], key=["event_id"]),
+        Relation("Booking", ["booking_id", "event_id", "seat_count"], key=["booking_id"]),
+        Relation("Audit", ["audit_id", "event_id", "action"], key=["audit_id"]),
+    ],
+    foreign_keys=[
+        ForeignKey("fk_booking_event", "Booking", "Event", {"event_id": "event_id"}),
+        ForeignKey("fk_audit_event", "Audit", "Event", {"event_id": "event_id"}),
+    ],
+)
+
+# BookSeats: decrement the seat counter, record the booking, audit it.
+book_seats_sql = """
+UPDATE Event SET seats_left = seats_left - :n WHERE event_id = :e;
+INSERT INTO Booking VALUES (:b, :e, :n);
+INSERT INTO Audit VALUES (:a, :e, 'book');
+COMMIT;
+"""
+
+# ListAvailability: a predicate read over the seat counters.
+list_availability_sql = """
+SELECT name, seats_left FROM Event WHERE seats_left > 0;
+COMMIT;
+"""
+
+# CancelBooking: delete the booking, give the seats back, audit it.
+cancel_booking_sql = """
+SELECT event_id, seat_count INTO :e, :n FROM Booking WHERE booking_id = :b;
+DELETE FROM Booking WHERE booking_id = :b;
+UPDATE Event SET seats_left = seats_left + :n WHERE event_id = :e;
+INSERT INTO Audit VALUES (:a, :e, 'cancel');
+COMMIT;
+"""
+
+book_raw = parse_program(book_seats_sql, schema, "BookSeats")
+book_seats = BTP(
+    book_raw.name,
+    book_raw.root,
+    constraints=[
+        # q2 (the booking) and q3 (the audit row) reference the event q1 updated.
+        FKConstraint("fk_booking_event", source="q2", target="q1"),
+        FKConstraint("fk_audit_event", source="q3", target="q1"),
+    ],
+)
+list_availability = parse_program(list_availability_sql, schema, "ListAvailability")
+cancel_raw = parse_program(cancel_booking_sql, schema, "CancelBooking")
+cancel_booking = BTP(
+    cancel_raw.name,
+    cancel_raw.root,
+    constraints=[
+        # The deleted booking q2 is the one q1 read; the audit row q4
+        # references the event q3 updated.
+        FKConstraint("fk_audit_event", source="q4", target="q3"),
+    ],
+)
+
+programs = [book_seats, list_availability, cancel_booking]
+report = analyze(programs, schema, ATTR_DEP_FK)
+print(report.describe())
+print()
+
+if not report.robust:
+    print("The full workload is not (detectably) robust; checking pairs:")
+    from repro.detection.subsets import maximal_robust_subsets, format_subsets
+
+    subsets = maximal_robust_subsets(programs, schema, ATTR_DEP_FK)
+    print("maximal robust subsets:", format_subsets(subsets))
+    print()
+
+print("=== summary graph (Graphviz DOT, paste into `dot -Tpng`) ===")
+print(to_dot(report.graph, name="ticketing"))

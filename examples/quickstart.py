@@ -1,0 +1,79 @@
+"""Quickstart: is my workload safe to run under READ COMMITTED?
+
+The running example of the paper (Section 2): an auction service with two
+transaction programs, FindBids and PlaceBid.  We write them as plain SQL,
+let the library translate them into basic transaction programs (BTPs),
+annotate the foreign keys, and ask whether every possible execution under
+multi-version Read Committed (MVRC) is serializable.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import ForeignKey, Relation, Schema, FKConstraint, BTP, analyze
+from repro.sqlfront import parse_program
+
+# 1. The database schema: primary keys are needed to tell key-based from
+#    predicate-based statements, foreign keys power the FK-aware analysis.
+schema = Schema(
+    relations=[
+        Relation("Buyer", ["id", "calls"], key=["id"]),
+        Relation("Bids", ["buyerId", "bid"], key=["buyerId"]),
+        Relation("Log", ["id", "buyerId", "bid"], key=["id"]),
+    ],
+    foreign_keys=[
+        ForeignKey("f1", "Bids", "Buyer", {"buyerId": "id"}),
+        ForeignKey("f2", "Log", "Buyer", {"buyerId": "id"}),
+    ],
+)
+
+# 2. The transaction programs, as the application issues them.
+find_bids = parse_program(
+    """
+    UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+    SELECT bid FROM Bids WHERE bid >= :T;
+    COMMIT;
+    """,
+    schema,
+    name="FindBids",
+)
+
+place_bid_raw = parse_program(
+    """
+    UPDATE Buyer SET calls = calls + 1 WHERE id = :B;
+    SELECT bid INTO :C FROM Bids WHERE buyerId = :B;
+    IF :C < :V THEN
+        UPDATE Bids SET bid = :V WHERE buyerId = :B;
+    END IF;
+    INSERT INTO Log VALUES (:logId, :B, :V);
+    COMMIT;
+    """,
+    schema,
+    name="PlaceBid",
+    first_statement=3,  # keep the paper's numbering q3..q6
+)
+
+# 3. Annotate what the SQL cannot express: q4, q5 and q6 all reference the
+#    same buyer that q3 updated (the paper's q3 = f1(q4) etc.).
+place_bid = BTP(
+    place_bid_raw.name,
+    place_bid_raw.root,
+    constraints=[
+        FKConstraint("f1", source="q4", target="q3"),
+        FKConstraint("f1", source="q5", target="q3"),
+        FKConstraint("f2", source="q6", target="q3"),
+    ],
+)
+
+# 4. Analyze.  The default setting is the paper's strongest one:
+#    attribute-level dependencies plus foreign keys ('attr dep + FK').
+report = analyze([find_bids, place_bid], schema)
+print(report)
+print()
+
+if report.robust:
+    print("=> The workload is ROBUST against MVRC: running it under READ")
+    print("   COMMITTED yields only serializable executions - no need to")
+    print("   pay for SERIALIZABLE isolation.")
+else:
+    print("=> Not detected robust; run under a higher isolation level or")
+    print("   inspect the dangerous cycle above.")

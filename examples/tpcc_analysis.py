@@ -1,0 +1,65 @@
+"""TPC-C: robustness analysis of the industry-standard OLTP benchmark.
+
+Shows what the paper's machinery buys on a realistic workload:
+
+1. the five TPC-C programs (with loops, branches, inserts, deletes and
+   predicate reads) unfold into 13 linear programs and a 396-edge summary
+   graph — all computed automatically from the BTP formalization;
+2. under the full analysis ('attr dep + FK'), {OrderStatus, Payment,
+   StockLevel} and {NewOrder, Payment} are robust against MVRC — both
+   invisible to the earlier type-I condition;
+3. {Delivery} is a known *false negative*: Algorithm 2 rejects it even
+   though the concrete predicate semantics make it robust (Section 7.2).
+
+Run with:  python examples/tpcc_analysis.py
+"""
+
+from repro import ALL_SETTINGS, ATTR_DEP_FK, maximal_robust_subsets
+from repro.detection.subsets import format_subsets
+from repro.workloads import tpcc
+
+workload = tpcc()
+
+print("=== workload shape ===")
+for program in workload.programs:
+    print(f"  {program}")
+print()
+
+graph = workload.summary_graph(ATTR_DEP_FK)
+print("=== summary graph ('attr dep + FK') ===")
+print(graph.describe())
+print("unfolded programs:", ", ".join(graph.program_names))
+print()
+
+print("=== maximal robust subsets (Algorithm 2) ===")
+for settings in ALL_SETTINGS:
+    subsets = maximal_robust_subsets(
+        workload.programs, workload.schema, settings, "type-II"
+    )
+    print(f"  {settings.label:14s}: {format_subsets(subsets, dict(workload.abbreviations))}")
+print()
+
+print("=== the {Delivery} false negative ===")
+delivery = workload.subset(["Delivery"])
+report = delivery.analyze()
+print(f"Algorithm 2 verdict for {{Delivery}}: robust = {report.robust}")
+if report.witness is not None:
+    print(report.witness.describe())
+print(
+    """
+Why this is a false negative (Section 7.2): per district, Delivery first
+selects the *oldest* open order via a predicate read and then deletes it.
+Two concurrent instances over the same warehouse would pick the same
+order, and the second delete would abort — so the dangerous interleaving
+the summary graph predicts can never actually commit.  The BTP
+abstraction keeps only the predicate's attributes, not its "oldest open
+order" semantics, and must conservatively reject the program.
+"""
+)
+
+print("=== practical upshot ===")
+safe = workload.subset(["OrderStatus", "Payment", "StockLevel"])
+print(f"{{OS, Pay, SL}} robust: {safe.analyze().robust}")
+print("Running those three programs under READ COMMITTED is provably safe;")
+print("NewOrder+Payment likewise ({NO, Pay} robust:",
+      workload.subset(["NewOrder", "Payment"]).analyze().robust, ").")

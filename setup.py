@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works without network access: with no
+``[build-system]`` table pip does not need to download build dependencies
+into an isolated environment (this repository targets offline use).
+"""
+
+from setuptools import setup
+
+setup()

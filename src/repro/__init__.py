@@ -1,0 +1,118 @@
+"""repro — robustness against multi-version Read Committed (MVRC).
+
+A faithful, from-scratch reproduction of
+
+    Vandevoort, Ketsman, Koch, Neven.
+    "Detecting Robustness against MVRC for Transaction Programs with
+    Predicate Reads", EDBT 2023 (arXiv:2302.08789).
+
+The library decides, by static analysis, whether a set of transaction
+programs can be executed under isolation level *multi-version Read
+Committed* while still guaranteeing serializability.  Quick start::
+
+    from repro import workloads
+
+    report = workloads.auction().analyze()
+    print(report)          # robust: True — safe to run under MVRC
+
+See :mod:`repro.btp` for the program formalism, :mod:`repro.summary` for
+summary-graph construction (Algorithm 1), :mod:`repro.detection` for the
+robustness tests (Algorithm 2 and the type-I baseline), :mod:`repro.mvsched`
+and :mod:`repro.engine` for the multiversion-schedule substrate, and
+:mod:`repro.experiments` for the paper's evaluation.
+"""
+
+from repro import workloads
+from repro.btp import (
+    BTP,
+    FKConstraint,
+    LTP,
+    Statement,
+    StatementType,
+    choice,
+    loop,
+    optional,
+    seq,
+    unfold,
+)
+from repro.detection import (
+    CycleWitness,
+    RobustnessReport,
+    analyze,
+    is_robust_type1,
+    is_robust_type2,
+    maximal_robust_subsets,
+    robust_subsets,
+)
+from repro.errors import (
+    InstantiationError,
+    ProgramError,
+    ReproError,
+    ScheduleError,
+    SchemaError,
+    SqlError,
+)
+from repro.schema import ForeignKey, Relation, Schema
+from repro.summary import (
+    ALL_SETTINGS,
+    ATTR_DEP,
+    ATTR_DEP_FK,
+    TPL_DEP,
+    TPL_DEP_FK,
+    AnalysisSettings,
+    Granularity,
+    SummaryEdge,
+    SummaryGraph,
+    build_summary_graph,
+    construct_summary_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # schema
+    "Schema",
+    "Relation",
+    "ForeignKey",
+    # programs
+    "Statement",
+    "StatementType",
+    "BTP",
+    "LTP",
+    "FKConstraint",
+    "seq",
+    "choice",
+    "optional",
+    "loop",
+    "unfold",
+    # summary graphs
+    "SummaryGraph",
+    "SummaryEdge",
+    "build_summary_graph",
+    "construct_summary_graph",
+    "AnalysisSettings",
+    "Granularity",
+    "TPL_DEP",
+    "ATTR_DEP",
+    "TPL_DEP_FK",
+    "ATTR_DEP_FK",
+    "ALL_SETTINGS",
+    # detection
+    "analyze",
+    "RobustnessReport",
+    "is_robust_type1",
+    "is_robust_type2",
+    "robust_subsets",
+    "maximal_robust_subsets",
+    "CycleWitness",
+    # workloads
+    "workloads",
+    # errors
+    "ReproError",
+    "SchemaError",
+    "ProgramError",
+    "SqlError",
+    "ScheduleError",
+    "InstantiationError",
+]

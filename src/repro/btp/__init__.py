@@ -1,0 +1,53 @@
+"""Basic transaction programs (BTPs) — Section 5 of the paper.
+
+A BTP abstracts a SQL transaction program down to exactly the information the
+robustness analysis needs: for every statement its *type* (insert, key-based
+or predicate-based selection/update/deletion), the *relation* it is over, and
+the attribute sets it predicate-reads, reads, and writes.  Control flow is
+kept as an AST over sequencing ``P;P``, branching ``(P|P)`` and ``(P|ε)``,
+and iteration ``loop(P)``.
+
+Linear transaction programs (LTPs, Section 6.1) are loop- and branch-free
+BTPs; :func:`unfold` produces the finite set ``Unfold≤2(P)`` of LTPs that is
+sufficient for robustness detection (Proposition 6.1).
+"""
+
+from repro.btp.program import (
+    BTP,
+    Choice,
+    FKConstraint,
+    Loop,
+    Opt,
+    ProgramNode,
+    Seq,
+    Stmt,
+    choice,
+    loop,
+    optional,
+    seq,
+)
+from repro.btp.statement import Statement, StatementType
+from repro.btp.ltp import FKInstance, LTP, StatementOccurrence
+from repro.btp.unfold import unfold, unfold_program
+
+__all__ = [
+    "Statement",
+    "StatementType",
+    "BTP",
+    "ProgramNode",
+    "Stmt",
+    "Seq",
+    "Choice",
+    "Opt",
+    "Loop",
+    "FKConstraint",
+    "seq",
+    "choice",
+    "optional",
+    "loop",
+    "LTP",
+    "StatementOccurrence",
+    "FKInstance",
+    "unfold",
+    "unfold_program",
+]

@@ -1,0 +1,166 @@
+"""Linear transaction programs (LTPs) — Section 6.1.
+
+An LTP is a plain sequence of statements.  Because unfolding a loop
+duplicates its body, the *same* statement (by name) can occur at several
+positions; an LTP therefore stores :class:`StatementOccurrence` objects that
+remember their position and the iteration indices of the loops they were
+unfolded from.  Foreign-key annotations become :class:`FKInstance` objects
+bound to concrete occurrence positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator
+
+from repro.btp.statement import Statement
+from repro.errors import ProgramError
+
+#: A loop path records, innermost-last, ``(loop_id, iteration)`` pairs for
+#: every loop the occurrence was unfolded from.
+LoopPath = tuple[tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class StatementOccurrence:
+    """One occurrence of a statement within an unfolded LTP."""
+
+    statement: Statement
+    position: int
+    loop_path: LoopPath = ()
+
+    @property
+    def name(self) -> str:
+        """The underlying statement's name (``q1``, ``q2``, ...)."""
+        return self.statement.name
+
+    def __str__(self) -> str:
+        return f"{self.statement.name}@{self.position}"
+
+
+@dataclass(frozen=True)
+class FKInstance:
+    """A foreign-key constraint bound to occurrence positions.
+
+    ``source_pos``/``target_pos`` index into the owning LTP's occurrence
+    sequence; the constraint states that the tuple accessed at
+    ``target_pos`` is the foreign-key image (under ``fk``) of every tuple
+    accessed at ``source_pos``.
+    """
+
+    fk: str
+    source_pos: int
+    target_pos: int
+
+    def __str__(self) -> str:
+        return f"[{self.target_pos}] = {self.fk}([{self.source_pos}])"
+
+
+@dataclass(frozen=True)
+class LTP:
+    """A linear transaction program: statement occurrences plus constraints.
+
+    ``name`` identifies the unfolding (e.g. ``PlaceBid#1``); ``origin`` is
+    the name of the BTP it was unfolded from (``PlaceBid``), which equals
+    ``name`` for programs that were linear to begin with.
+    """
+
+    name: str
+    occurrences: tuple[StatementOccurrence, ...]
+    constraints: tuple[FKInstance, ...] = ()
+    origin: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        occurrences: Iterable[StatementOccurrence | Statement],
+        constraints: Iterable[FKInstance] = (),
+        origin: str = "",
+    ):
+        occs = []
+        for pos, item in enumerate(occurrences):
+            if isinstance(item, Statement):
+                item = StatementOccurrence(item, pos)
+            if item.position != pos:
+                raise ProgramError(
+                    f"LTP {name!r}: occurrence {item} expected at position {pos}"
+                )
+            occs.append(item)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "occurrences", tuple(occs))
+        object.__setattr__(self, "constraints", tuple(constraints))
+        object.__setattr__(self, "origin", origin or name)
+        for inst in self.constraints:
+            for pos in (inst.source_pos, inst.target_pos):
+                if not 0 <= pos < len(self.occurrences):
+                    raise ProgramError(
+                        f"LTP {name!r}: constraint {inst} references position {pos}, "
+                        f"but the program has {len(self.occurrences)} statements"
+                    )
+
+    # -- basic accessors ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.occurrences)
+
+    def __iter__(self) -> Iterator[StatementOccurrence]:
+        return iter(self.occurrences)
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty unfolding (zero loop iterations everywhere)."""
+        return not self.occurrences
+
+    @cached_property
+    def statements_by_name(self) -> dict[str, Statement]:
+        """Distinct statements occurring in this LTP, keyed by name."""
+        result: dict[str, Statement] = {}
+        for occ in self.occurrences:
+            result.setdefault(occ.name, occ.statement)
+        return result
+
+    @cached_property
+    def positions_by_name(self) -> dict[str, tuple[int, ...]]:
+        """All positions at which each statement name occurs (sorted)."""
+        result: dict[str, list[int]] = {}
+        for occ in self.occurrences:
+            result.setdefault(occ.name, []).append(occ.position)
+        return {name: tuple(positions) for name, positions in result.items()}
+
+    @cached_property
+    def signature(self) -> tuple:
+        """A structural identity used to deduplicate unfoldings.
+
+        Two unfoldings of the same BTP are the same LTP when their
+        statement sequences and bound constraints coincide.
+        """
+        return (
+            tuple(occ.name for occ in self.occurrences),
+            tuple(sorted((c.fk, c.source_pos, c.target_pos) for c in self.constraints)),
+        )
+
+    # -- order queries used by the detection algorithms --------------------
+    def occurs_before(self, first: str, second: str) -> bool:
+        """True iff *some* occurrence of ``first`` precedes one of ``second``.
+
+        This is the sound lift of the strict program order ``q' <_P q`` of
+        Theorem 6.4 to name-collapsed statements: if any occurrence pair is
+        ordered, a schedule realising that order exists.
+        """
+        first_positions = self.positions_by_name.get(first)
+        second_positions = self.positions_by_name.get(second)
+        if not first_positions or not second_positions:
+            return False
+        return min(first_positions) < max(second_positions)
+
+    def constraints_for_source(self, position: int) -> tuple[FKInstance, ...]:
+        """All constraint instances whose source is the given occurrence."""
+        return tuple(inst for inst in self.constraints if inst.source_pos == position)
+
+    def statement_at(self, position: int) -> Statement:
+        """The statement at an occurrence position."""
+        return self.occurrences[position].statement
+
+    def __str__(self) -> str:
+        body = "; ".join(occ.name for occ in self.occurrences) or "ε"
+        return f"{self.name} := {body}"

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro <command>``.
+
+Commands:
+
+* ``analyze <workload> [--setting LABEL] [--subset P1,P2]`` — robustness
+  report for a built-in workload (``smallbank``, ``tpcc``, ``auction``,
+  ``auction(N)``) or a subset of its programs;
+* ``subsets <workload> [--setting LABEL] [--method type-II|type-I]`` —
+  maximal robust subsets;
+* ``graph <workload> [--setting LABEL] [--format dot|text]`` — summary
+  graph rendering;
+* ``experiments <table2|figure6|figure7|figure8|false-negatives|all>`` —
+  regenerate the paper's evaluation artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments.false_negatives import run_false_negatives
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.table2 import run_table2
+from repro.detection.subsets import format_subsets, maximal_robust_subsets
+from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK, AnalysisSettings
+from repro.viz import to_dot, to_text
+from repro.workloads import get_workload, load_workload
+
+
+def _resolve_workload(argument: str):
+    """A built-in workload name, ``auction(N)``, or a workload file path."""
+    from pathlib import Path
+
+    if Path(argument).is_file():
+        return load_workload(argument)
+    return get_workload(argument)
+
+
+def _settings_from(label: str | None) -> AnalysisSettings:
+    if label is None:
+        return ATTR_DEP_FK
+    return AnalysisSettings.from_label(label)
+
+
+def _add_setting_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--setting",
+        choices=[settings.label for settings in ALL_SETTINGS],
+        help="analysis setting (default: 'attr dep + FK')",
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    if args.subset:
+        workload = workload.subset([name.strip() for name in args.subset.split(",")])
+    report = workload.analyze(_settings_from(args.setting))
+    print(f"workload: {workload.name}")
+    print(report.describe())
+    return 0
+
+
+def _cmd_subsets(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    settings = _settings_from(args.setting)
+    subsets = maximal_robust_subsets(
+        workload.programs, workload.schema, settings, args.method
+    )
+    print(f"workload: {workload.name}   setting: {settings.label}   method: {args.method}")
+    print("maximal robust subsets:", format_subsets(subsets, dict(workload.abbreviations)) or "(none)")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    workload = _resolve_workload(args.workload)
+    graph = workload.summary_graph(_settings_from(args.setting))
+    if args.format == "dot":
+        print(to_dot(graph, name=workload.name))
+    else:
+        print(to_text(graph))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    runners = {
+        "table2": lambda: run_table2().to_text(),
+        "figure6": lambda: run_figure6().to_text(),
+        "figure7": lambda: run_figure7().to_text(),
+        "figure8": lambda: run_figure8(
+            scales=args.scales or (1, 2, 4, 8, 12, 16, 24, 32),
+            repetitions=args.repetitions,
+        ).to_text(),
+        "false-negatives": lambda: run_false_negatives().to_text(),
+    }
+    names = list(runners) if args.which == "all" else [args.which]
+    for index, name in enumerate(names):
+        if index:
+            print()
+        print(runners[name]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Robustness against MVRC for transaction programs "
+        "(reproduction of Vandevoort et al., EDBT 2023)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    analyze = subparsers.add_parser("analyze", help="robustness report for a workload")
+    analyze.add_argument(
+        "workload", help="smallbank | tpcc | auction | auction(N) | path to a workload file"
+    )
+    analyze.add_argument("--subset", help="comma-separated program names")
+    _add_setting_argument(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
+
+    subsets = subparsers.add_parser("subsets", help="maximal robust subsets")
+    subsets.add_argument("workload")
+    subsets.add_argument("--method", choices=["type-II", "type-I"], default="type-II")
+    _add_setting_argument(subsets)
+    subsets.set_defaults(func=_cmd_subsets)
+
+    graph = subparsers.add_parser("graph", help="render the summary graph")
+    graph.add_argument("workload")
+    graph.add_argument("--format", choices=["dot", "text"], default="text")
+    _add_setting_argument(graph)
+    graph.set_defaults(func=_cmd_graph)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument(
+        "which",
+        choices=["table2", "figure6", "figure7", "figure8", "false-negatives", "all"],
+    )
+    experiments.add_argument(
+        "--scales", type=int, nargs="+", help="Auction(n) scaling factors for figure8"
+    )
+    experiments.add_argument("--repetitions", type=int, default=10)
+    experiments.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Reachability helpers for the cycle tests.
+
+Both detection algorithms only need program-level reachability in the
+summary graph.  Reachability here is *reflexive*: a program reaches itself
+via the empty path, matching the proof of Proposition 6.5 where the borrowed
+edges of a cycle may coincide.  For efficiency we reason over strongly
+connected components: within an SCC everything reaches everything, and
+between SCCs reachability follows the condensation DAG.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import networkx as nx
+
+from repro.summary.graph import SummaryGraph
+
+
+class ReachabilityIndex:
+    """Precomputed reflexive reachability over a summary graph's programs."""
+
+    def __init__(self, graph: SummaryGraph):
+        self._program_graph = graph.program_graph
+
+    @cached_property
+    def _scc_of(self) -> dict[str, int]:
+        mapping: dict[str, int] = {}
+        for index, component in enumerate(nx.strongly_connected_components(self._program_graph)):
+            for node in component:
+                mapping[node] = index
+        return mapping
+
+    @cached_property
+    def _scc_closure(self) -> dict[int, frozenset[int]]:
+        condensation = nx.condensation(self._program_graph, scc=None)
+        # nx.condensation assigns its own component ids; remap to ours.
+        remap: dict[int, int] = {}
+        for cond_id, data in condensation.nodes(data=True):
+            members = data["members"]
+            any_member = next(iter(members))
+            remap[cond_id] = self._scc_of[any_member]
+        closure: dict[int, set[int]] = {remap[node]: {remap[node]} for node in condensation}
+        for cond_id in reversed(list(nx.topological_sort(condensation))):
+            ours = remap[cond_id]
+            for successor in condensation.successors(cond_id):
+                closure[ours] |= closure[remap[successor]]
+        return {scc: frozenset(reachable) for scc, reachable in closure.items()}
+
+    def scc(self, program: str) -> int:
+        """The id of the strongly connected component containing a program."""
+        return self._scc_of[program]
+
+    def scc_reaches(self, source_scc: int, target_scc: int) -> bool:
+        """Reflexive reachability between SCC ids."""
+        return target_scc in self._scc_closure[source_scc]
+
+    def reaches(self, source: str, target: str) -> bool:
+        """True iff ``target`` is reachable from ``source`` (reflexively)."""
+        return self.scc_reaches(self._scc_of[source], self._scc_of[target])

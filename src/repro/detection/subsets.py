@@ -1,0 +1,112 @@
+"""Robust-subset enumeration (the experiment grid of Figures 6 and 7).
+
+Robustness is anti-monotone (Proposition 5.2): every subset of a robust set
+of programs is robust.  The enumeration exploits this by walking subsets in
+decreasing size and skipping subsets of already-attested robust sets; the
+*maximal* robust subsets are those without a robust strict superset.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Sequence
+
+from repro.btp.program import BTP
+from repro.btp.unfold import unfold
+from repro.detection.typei import is_robust_type1
+from repro.detection.typeii import is_robust_type2
+from repro.schema import Schema
+from repro.summary.construct import construct_summary_graph
+from repro.summary.graph import SummaryGraph
+from repro.summary.settings import AnalysisSettings
+
+Method = Callable[[SummaryGraph], bool]
+
+#: The two detection methods by name.
+METHODS: dict[str, Method] = {
+    "type-II": is_robust_type2,
+    "type-I": is_robust_type1,
+}
+
+
+def _resolve_method(method: str | Method) -> Method:
+    if callable(method):
+        return method
+    try:
+        return METHODS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {sorted(METHODS)}"
+        ) from None
+
+
+def is_robust(
+    programs: Sequence[BTP],
+    schema: Schema,
+    settings: AnalysisSettings = AnalysisSettings(),
+    method: str | Method = "type-II",
+    max_loop_iterations: int = 2,
+) -> bool:
+    """Unfold, build the summary graph, and run the chosen detection method."""
+    ltps = unfold(programs, max_loop_iterations)
+    graph = construct_summary_graph(ltps, schema, settings)
+    return _resolve_method(method)(graph)
+
+
+def robust_subsets(
+    programs: Sequence[BTP],
+    schema: Schema,
+    settings: AnalysisSettings = AnalysisSettings(),
+    method: str | Method = "type-II",
+) -> dict[frozenset[str], bool]:
+    """Robustness verdict for every non-empty subset of the programs.
+
+    Subsets are keyed by the frozenset of program (BTP) names.  Subsets of
+    attested-robust sets inherit robustness without re-testing
+    (Proposition 5.2).
+    """
+    check = _resolve_method(method)
+    by_name = {program.name: program for program in programs}
+    names = sorted(by_name)
+    verdicts: dict[frozenset[str], bool] = {}
+    for size in range(len(names), 0, -1):
+        for combo in itertools.combinations(names, size):
+            subset = frozenset(combo)
+            if any(
+                subset < other and robust
+                for other, robust in verdicts.items()
+                if robust
+            ):
+                verdicts[subset] = True
+                continue
+            graph = construct_summary_graph(
+                unfold([by_name[name] for name in combo]), schema, settings
+            )
+            verdicts[subset] = check(graph)
+    return verdicts
+
+
+def maximal_robust_subsets(
+    programs: Sequence[BTP],
+    schema: Schema,
+    settings: AnalysisSettings = AnalysisSettings(),
+    method: str | Method = "type-II",
+) -> tuple[frozenset[str], ...]:
+    """The maximal robust subsets, largest first (as listed in Figures 6/7)."""
+    verdicts = robust_subsets(programs, schema, settings, method)
+    robust = [subset for subset, ok in verdicts.items() if ok]
+    maximal = [
+        subset
+        for subset in robust
+        if not any(subset < other for other in robust)
+    ]
+    return tuple(sorted(maximal, key=lambda s: (-len(s), sorted(s))))
+
+
+def format_subsets(subsets: Iterable[frozenset[str]], abbreviations: dict[str, str] | None = None) -> str:
+    """Render subsets the way the paper does, e.g. ``{Am, DC, TS}, {Bal, DC}``."""
+    rendered = []
+    for subset in subsets:
+        names = sorted(abbreviations.get(name, name) if abbreviations else name for name in subset)
+        rendered.append("{" + ", ".join(names) + "}")
+    return ", ".join(rendered)

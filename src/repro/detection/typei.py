@@ -1,0 +1,37 @@
+"""The type-I robustness test of Alomari & Fekete [3].
+
+A *type-I cycle* is any cycle in the summary graph containing at least one
+counterflow edge.  The workload is attested robust iff no such cycle exists,
+i.e. iff no counterflow edge closes back on itself: a counterflow edge
+``P_i → P_j`` lies on a cycle exactly when ``P_i`` is reachable from ``P_j``
+(reflexively — a counterflow self-loop is already a cycle between two
+instantiations of the same program).
+"""
+
+from __future__ import annotations
+
+from repro.detection.reachability import ReachabilityIndex
+from repro.detection.witness import CycleWitness, connecting_edges
+from repro.summary.graph import SummaryGraph
+
+
+def is_robust_type1(graph: SummaryGraph) -> bool:
+    """True iff the summary graph contains no type-I cycle."""
+    reach = ReachabilityIndex(graph)
+    return not any(
+        reach.reaches(edge.target, edge.source) for edge in graph.counterflow_edges
+    )
+
+
+def find_type1_violation(graph: SummaryGraph) -> CycleWitness | None:
+    """A witness cycle containing a counterflow edge, or None if robust."""
+    reach = ReachabilityIndex(graph)
+    for edge in graph.counterflow_edges:
+        if reach.reaches(edge.target, edge.source):
+            back_path = connecting_edges(graph, edge.target, edge.source)
+            return CycleWitness(
+                edges=(edge, *back_path),
+                reason="type-I",
+                highlighted=(edge,),
+            )
+    return None

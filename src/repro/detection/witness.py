@@ -1,0 +1,72 @@
+"""Cycle witnesses: concrete evidence for a non-robust verdict.
+
+When the detection algorithms refuse to attest robustness they can produce
+the offending closed walk through the summary graph, which is far more
+actionable for a developer than a bare boolean.  A witness names the
+distinguished edges (the non-counterflow edge and the counterflow edge(s)
+that make the walk dangerous) and lists the full edge sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.summary.graph import SummaryEdge, SummaryGraph
+
+
+@dataclass(frozen=True)
+class CycleWitness:
+    """A closed walk in the summary graph violating the robustness condition.
+
+    ``edges`` is the full walk (each edge's target program is the next
+    edge's source, and the last edge returns to the first edge's source).
+    ``reason`` explains which condition of Theorem 6.4 the walk satisfies:
+    ``'type-I'`` (a counterflow edge on a cycle — the [3] condition),
+    ``'adjacent-counterflow'`` or ``'ordered-counterflow'``.
+    """
+
+    edges: tuple[SummaryEdge, ...]
+    reason: str
+    highlighted: tuple[SummaryEdge, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError("a cycle witness needs at least one edge")
+        for current, following in zip(self.edges, self.edges[1:] + self.edges[:1]):
+            if current.target != following.source:
+                raise ValueError(
+                    f"witness is not a closed walk: {current} does not connect to {following}"
+                )
+
+    @property
+    def programs(self) -> tuple[str, ...]:
+        """The programs visited, in order (may contain repeats)."""
+        return tuple(edge.source for edge in self.edges)
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering of the witness."""
+        lines = [f"dangerous cycle ({self.reason}):"]
+        for edge in self.edges:
+            marker = " *" if edge in self.highlighted else ""
+            lines.append(f"  {edge} [{edge.kind}]{marker}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def connecting_edges(graph: SummaryGraph, source: str, target: str) -> list[SummaryEdge]:
+    """Edges realising some shortest program-level path ``source → target``.
+
+    Returns the empty list when ``source == target`` (the empty path); the
+    caller is responsible for only asking about reachable pairs.
+    """
+    if source == target:
+        return []
+    path = nx.shortest_path(graph.program_graph, source, target)
+    edges = []
+    for here, there in zip(path, path[1:]):
+        edges.append(graph.edges_between(here, there)[0])
+    return edges

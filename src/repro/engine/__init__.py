@@ -1,0 +1,29 @@
+"""MVRC execution engine: from LTPs to concrete multiversion schedules.
+
+This package *instantiates* linear transaction programs into transactions
+over a small tuple universe (respecting the programs' foreign-key
+annotations), *executes* interleavings of those transactions under
+read-last-committed semantics to obtain schedules that are allowed under
+MVRC by construction, and *searches* the space of instantiations and
+interleavings for non-serializable schedules — concrete counterexamples
+proving a workload non-robust (used for the false-negative analysis of
+Section 7.2).
+"""
+
+from repro.engine.instantiate import Instantiator, TupleUniverse, enumerate_choices
+from repro.engine.executor import execute
+from repro.engine.interleavings import all_unit_orders, interleaving_count, random_unit_order
+from repro.engine.search import CounterExample, find_counterexample, random_mvrc_schedules
+
+__all__ = [
+    "TupleUniverse",
+    "Instantiator",
+    "enumerate_choices",
+    "execute",
+    "all_unit_orders",
+    "random_unit_order",
+    "interleaving_count",
+    "find_counterexample",
+    "random_mvrc_schedules",
+    "CounterExample",
+]

@@ -1,0 +1,220 @@
+"""Executing interleavings under read-last-committed semantics.
+
+:func:`execute` takes a set of transactions and an order over their
+*interleaving units* (atomic chunks and single operations, see
+:meth:`~repro.mvsched.transaction.Transaction.chunk_units`) and simulates an
+MVRC database: every read observes the most recently committed version,
+predicate reads snapshot the whole relation, writes are buffered until
+commit, and version order follows commit order.  Interleavings that would
+require a dirty write — or that make a key-based statement touch a tuple
+that does not currently exist — are rejected by returning ``None``.
+
+Every schedule this executor produces is allowed under MVRC *by
+construction*; the test suite re-checks that claim against the independent
+validator in :mod:`repro.mvsched` (both the Section 3.3 validity rules and
+the Definition 3.3 MVRC conditions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.engine.instantiate import TupleUniverse
+from repro.mvsched.operations import OpKind, Operation
+from repro.mvsched.schedule import Schedule
+from repro.mvsched.transaction import Transaction
+from repro.mvsched.tuples import TupleId, Version, VersionKind
+
+
+@dataclass
+class _TupleState:
+    """Mutable execution state of one tuple."""
+
+    committed: Version
+    versions_created: int = 0
+    uncommitted_writer: int | None = None
+
+    @property
+    def next_seq(self) -> int:
+        return self.versions_created
+
+
+@dataclass
+class _PendingWrite:
+    op: Operation
+    kind: OpKind
+
+
+@dataclass
+class _Simulator:
+    universe: TupleUniverse
+    states: dict[TupleId, _TupleState] = field(default_factory=dict)
+    order: list[Operation] = field(default_factory=list)
+    read_version: dict[Operation, Version] = field(default_factory=dict)
+    write_version: dict[Operation, Version] = field(default_factory=dict)
+    vset: dict[Operation, dict[TupleId, Version]] = field(default_factory=dict)
+    init_version: dict[TupleId, Version] = field(default_factory=dict)
+    version_order: dict[TupleId, list[Version]] = field(default_factory=dict)
+    pending: dict[int, list[_PendingWrite]] = field(default_factory=dict)
+
+    def state_of(self, tuple_id: TupleId) -> _TupleState:
+        state = self.states.get(tuple_id)
+        if state is None:
+            if self.universe.is_existing(tuple_id):
+                init = Version.visible(tuple_id, 0)
+                state = _TupleState(committed=init, versions_created=1)
+            else:
+                init = Version.unborn(tuple_id)
+                state = _TupleState(committed=init, versions_created=0)
+            self.states[tuple_id] = state
+            self.init_version[tuple_id] = init
+        return state
+
+    # -- operation handlers --------------------------------------------------
+    def apply(self, op: Operation) -> bool:
+        """Apply one operation; False means the interleaving is invalid."""
+        handlers = {
+            OpKind.READ: self._apply_read,
+            OpKind.PRED_READ: self._apply_pred_read,
+            OpKind.WRITE: self._apply_write,
+            OpKind.INSERT: self._apply_insert,
+            OpKind.DELETE: self._apply_delete,
+            OpKind.COMMIT: self._apply_commit,
+        }
+        if not handlers[op.kind](op):
+            return False
+        self.order.append(op)
+        return True
+
+    def _apply_read(self, op: Operation) -> bool:
+        state = self.state_of(op.tuple)
+        if not state.committed.is_visible:
+            return False  # key-based access to a non-existing tuple aborts
+        self.read_version[op] = state.committed
+        return True
+
+    def _apply_pred_read(self, op: Operation) -> bool:
+        snapshot = {}
+        for tuple_id in self._relation_tuples(op.relation):
+            snapshot[tuple_id] = self.state_of(tuple_id).committed
+        self.vset[op] = snapshot
+        return True
+
+    def _relation_tuples(self, relation: str) -> list[TupleId]:
+        tuples = list(self.universe.existing(relation))
+        for tuple_id in self.states:
+            if tuple_id.relation == relation and tuple_id not in tuples:
+                tuples.append(tuple_id)
+        return tuples
+
+    def _lock_for_write(self, op: Operation) -> _TupleState | None:
+        state = self.state_of(op.tuple)
+        if state.uncommitted_writer not in (None, op.tx):
+            return None  # would be a dirty write
+        if state.uncommitted_writer == op.tx:
+            return None  # one write per tuple per transaction
+        state.uncommitted_writer = op.tx
+        return state
+
+    def _apply_write(self, op: Operation) -> bool:
+        state = self.state_of(op.tuple)
+        if not state.committed.is_visible:
+            return False  # updating a non-existing tuple
+        if self._lock_for_write(op) is None:
+            return False
+        self.pending.setdefault(op.tx, []).append(_PendingWrite(op, OpKind.WRITE))
+        return True
+
+    def _apply_insert(self, op: Operation) -> bool:
+        state = self.state_of(op.tuple)
+        if state.committed.kind is not VersionKind.UNBORN or state.versions_created:
+            return False  # only the first visible version may be an insert
+        if self._lock_for_write(op) is None:
+            return False
+        self.pending.setdefault(op.tx, []).append(_PendingWrite(op, OpKind.INSERT))
+        return True
+
+    def _apply_delete(self, op: Operation) -> bool:
+        state = self.state_of(op.tuple)
+        if not state.committed.is_visible:
+            return False  # deleting a non-existing tuple
+        if self._lock_for_write(op) is None:
+            return False
+        self.pending.setdefault(op.tx, []).append(_PendingWrite(op, OpKind.DELETE))
+        return True
+
+    def _apply_commit(self, op: Operation) -> bool:
+        for pending in self.pending.pop(op.tx, []):
+            state = self.states[pending.op.tuple]
+            if pending.kind is OpKind.DELETE:
+                version = Version.dead(pending.op.tuple)
+            else:
+                version = Version.visible(pending.op.tuple, state.next_seq)
+            state.versions_created += 1
+            state.committed = version
+            state.uncommitted_writer = None
+            self.write_version[pending.op] = version
+        return True
+
+    # -- result ----------------------------------------------------------------
+    def schedule(self, transactions: Sequence[Transaction]) -> Schedule:
+        version_order = {}
+        for tuple_id, state in self.states.items():
+            visible_count = state.versions_created
+            if state.committed.kind is VersionKind.DEAD:
+                visible_count -= 1  # the last created version is the dead one
+            visibles = [Version.visible(tuple_id, seq) for seq in range(visible_count)]
+            order = [Version.unborn(tuple_id), *visibles, Version.dead(tuple_id)]
+            version_order[tuple_id] = tuple(order)
+        universe_map = {}
+        for tuple_id in self.states:
+            universe_map.setdefault(tuple_id.relation, [])
+        for relation in universe_map:
+            universe_map[relation] = tuple(self._relation_tuples(relation))
+        # A predicate read's version set must cover every tuple of its
+        # relation, including tuples only inserted *after* the read: those
+        # were unborn at snapshot time.  This is precisely what makes a
+        # later insert a phantom (predicate rw-antidependency).
+        for op, snapshot in self.vset.items():
+            for tuple_id in universe_map.get(op.relation, ()):
+                snapshot.setdefault(tuple_id, self.init_version[tuple_id])
+        return Schedule(
+            transactions=tuple(transactions),
+            order=tuple(self.order),
+            init_version=dict(self.init_version),
+            write_version=dict(self.write_version),
+            read_version=dict(self.read_version),
+            vset={op: dict(mapping) for op, mapping in self.vset.items()},
+            version_order=version_order,
+            universe=universe_map,
+        )
+
+
+def execute(
+    transactions: Sequence[Transaction],
+    unit_order: Sequence[int],
+    universe: TupleUniverse,
+) -> Schedule | None:
+    """Run an interleaving; ``unit_order`` lists transaction ids, one per unit.
+
+    Each occurrence of a transaction id consumes that transaction's next
+    interleaving unit (an atomic chunk or a single operation).  Returns the
+    resulting MVRC schedule, or ``None`` when the interleaving is invalid
+    (dirty write, access to a non-existing tuple, or malformed unit order).
+    """
+    by_tx = {t.tx: t for t in transactions}
+    units = {t.tx: list(t.chunk_units()) for t in transactions}
+    cursors = {t.tx: 0 for t in transactions}
+    simulator = _Simulator(universe)
+    for tx in unit_order:
+        if tx not in by_tx or cursors[tx] >= len(units[tx]):
+            return None
+        unit = units[tx][cursors[tx]]
+        cursors[tx] += 1
+        for op in unit:
+            if not simulator.apply(op):
+                return None
+    if any(cursors[tx] != len(units[tx]) for tx in cursors):
+        return None
+    return simulator.schedule(transactions)

@@ -1,0 +1,333 @@
+"""Instantiating LTPs into transactions (Section 5.2).
+
+A statement instantiates to operations over concrete tuples: key-based
+statements pick one tuple, predicate-based statements pick a matched set
+(plus the relation-wide predicate read), inserts allocate a fresh tuple.
+Foreign-key annotations constrain the choices: the tuple accessed by the
+constraint's target statement must be the foreign-key image of every tuple
+accessed by its source statement.
+
+Following Figure 3 of the paper, a tuple already read by the transaction is
+not read again: the read half of a key-based update whose tuple an earlier
+statement read is elided (``T2`` there has ``q5 → W2[u1]`` only, because
+``q4`` already produced ``R2[u1]``).  Choices that would make a transaction
+write the same tuple twice violate the paper's one-write-per-tuple
+assumption and raise :class:`~repro.errors.InstantiationError`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.btp.ltp import LTP
+from repro.btp.statement import Statement, StatementType
+from repro.errors import InstantiationError
+from repro.mvsched.operations import Operation
+from repro.mvsched.transaction import Transaction
+from repro.mvsched.tuples import TupleId
+from repro.schema import Schema
+
+#: A per-statement choice: the tuples the statement's operations are over.
+#: Key-based statements use a single-element tuple; inserts may be empty
+#: (a fresh tuple is allocated automatically).
+Choice = tuple[TupleId, ...]
+
+
+@dataclass(frozen=True)
+class TupleUniverse:
+    """A finite universe of tuples per relation.
+
+    ``sizes[R]`` pre-existing tuples (indices ``0 .. sizes[R]-1``) start
+    with a visible initial version; higher indices are *fresh* (unborn)
+    and reserved for inserts.  ``fk_image`` realises every foreign key as
+    ``target = existing_target[source_index mod |existing_target|]``,
+    which aligns same-index tuples across relations (the SmallBank
+    Account/Savings/Checking triples, the Auction buyer/bid pairs, ...).
+    """
+
+    schema: Schema
+    sizes: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        for relation in self.sizes:
+            self.schema.relation(relation)  # raises SchemaError if unknown
+
+    def size(self, relation: str) -> int:
+        return int(self.sizes.get(relation, 0))
+
+    def existing(self, relation: str) -> tuple[TupleId, ...]:
+        """The pre-existing tuples of a relation."""
+        return tuple(TupleId(relation, index) for index in range(self.size(relation)))
+
+    def is_existing(self, tuple_id: TupleId) -> bool:
+        return 0 <= tuple_id.index < self.size(tuple_id.relation)
+
+    def fk_image(self, fk_name: str, source: TupleId) -> TupleId:
+        """The referenced tuple ``f(source)`` under the universe's FK map."""
+        fk = self.schema.foreign_key(fk_name)
+        if source.relation != fk.source:
+            raise InstantiationError(
+                f"{source} is not in dom({fk_name}) = {fk.source}"
+            )
+        target_size = self.size(fk.target)
+        if target_size == 0:
+            raise InstantiationError(f"no existing tuples in range({fk_name}) = {fk.target}")
+        return TupleId(fk.target, source.index % target_size)
+
+
+@dataclass
+class Instantiator:
+    """Builds transactions from LTPs, allocating fresh tuples for inserts.
+
+    ``postgres_predicate_updates`` enables the Section 5.4 variant: Postgres
+    evaluates a predicate update's predicate twice (once to select tuples,
+    once right before changing each tuple), which the paper models as *two*
+    atomic chunks — a predicate-read-only chunk followed by the conventional
+    predicate-read + read/write chunk.  The paper argues this changes
+    neither the possible dependency types nor the summary graph; the test
+    suite checks the claim on the engine side.
+    """
+
+    universe: TupleUniverse
+    postgres_predicate_updates: bool = False
+    _fresh_counters: dict[str, int] = field(default_factory=dict)
+    _next_tx: int = 1
+
+    def fresh_tuple(self, relation: str) -> TupleId:
+        """Allocate a not-yet-used unborn tuple of the relation."""
+        next_index = self._fresh_counters.get(relation, self.universe.size(relation))
+        self._fresh_counters[relation] = next_index + 1
+        return TupleId(relation, next_index)
+
+    def next_tx_id(self) -> int:
+        tx = self._next_tx
+        self._next_tx += 1
+        return tx
+
+    def instantiate(
+        self,
+        program: LTP,
+        choices: Sequence[Choice],
+        tx: int | None = None,
+    ) -> Transaction:
+        """Instantiate the program with the given per-statement choices."""
+        if len(choices) != len(program.occurrences):
+            raise InstantiationError(
+                f"{program.name}: expected {len(program.occurrences)} choices, "
+                f"got {len(choices)}"
+            )
+        resolved = self._resolve_choices(program, choices)
+        self._check_constraints(program, resolved)
+        if tx is None:
+            tx = self.next_tx_id()
+        builder = _TransactionBuilder(tx, self.postgres_predicate_updates)
+        for occurrence, tuples in zip(program.occurrences, resolved):
+            builder.add_statement(occurrence.statement, tuples)
+        return builder.build(origin=program.name)
+
+    def _resolve_choices(
+        self, program: LTP, choices: Sequence[Choice]
+    ) -> list[tuple[TupleId, ...]]:
+        resolved = []
+        for occurrence, choice in zip(program.occurrences, choices):
+            statement = occurrence.statement
+            tuples = tuple(choice)
+            if statement.stype is StatementType.INSERT:
+                if not tuples:
+                    tuples = (self.fresh_tuple(statement.relation),)
+            elif statement.stype.is_key_based and len(tuples) != 1:
+                raise InstantiationError(
+                    f"{program.name}.{statement.name}: key-based statements access "
+                    f"exactly one tuple, got {len(tuples)}"
+                )
+            for tuple_id in tuples:
+                if tuple_id.relation != statement.relation:
+                    raise InstantiationError(
+                        f"{program.name}.{statement.name}: tuple {tuple_id} is not of "
+                        f"relation {statement.relation}"
+                    )
+            resolved.append(tuples)
+        return resolved
+
+    def _check_constraints(
+        self, program: LTP, resolved: Sequence[tuple[TupleId, ...]]
+    ) -> None:
+        for instance in program.constraints:
+            targets = resolved[instance.target_pos]
+            if len(targets) != 1:
+                raise InstantiationError(
+                    f"{program.name}: constraint {instance} target must access one tuple"
+                )
+            target = targets[0]
+            for source in resolved[instance.source_pos]:
+                if not self.universe.is_existing(source):
+                    # Freshly inserted tuples may reference any parent: the
+                    # foreign-key image of a new tuple is defined by the
+                    # insert itself, so the constraint holds by choice.
+                    continue
+                expected = self.universe.fk_image(instance.fk, source)
+                if target != expected:
+                    raise InstantiationError(
+                        f"{program.name}: constraint {instance} violated — "
+                        f"{instance.fk}({source}) = {expected}, but target accesses {target}"
+                    )
+
+
+class _TransactionBuilder:
+    """Accumulates operations and chunk spans for one transaction."""
+
+    def __init__(self, tx: int, postgres_predicate_updates: bool = False):
+        self.tx = tx
+        self.postgres_predicate_updates = postgres_predicate_updates
+        self.ops: list[Operation] = []
+        self.chunks: list[tuple[int, int]] = []
+        self.reads_seen: set[TupleId] = set()
+        self.writes_seen: set[TupleId] = set()
+
+    def add_statement(self, statement: Statement, tuples: tuple[TupleId, ...]) -> None:
+        handlers = {
+            StatementType.INSERT: self._add_insert,
+            StatementType.KEY_SELECT: self._add_key_select,
+            StatementType.KEY_UPDATE: self._add_key_update,
+            StatementType.KEY_DELETE: self._add_key_delete,
+            StatementType.PRED_SELECT: self._add_pred_select,
+            StatementType.PRED_UPDATE: self._add_pred_update,
+            StatementType.PRED_DELETE: self._add_pred_delete,
+        }
+        handlers[statement.stype](statement, tuples)
+
+    # -- per-type handlers ---------------------------------------------------
+    def _require_unwritten(self, statement: Statement, tuple_id: TupleId) -> None:
+        if tuple_id in self.writes_seen:
+            raise InstantiationError(
+                f"statement {statement.name}: transaction already wrote {tuple_id} "
+                "(at most one write per tuple)"
+            )
+
+    def _emit(self, op: Operation) -> int:
+        self.ops.append(op)
+        return len(self.ops) - 1
+
+    def _emit_read(self, statement: Statement, tuple_id: TupleId) -> int | None:
+        """Emit an R operation unless this transaction already read the tuple."""
+        if tuple_id in self.reads_seen:
+            return None
+        self.reads_seen.add(tuple_id)
+        return self._emit(Operation.read(self.tx, len(self.ops), tuple_id, statement.reads))
+
+    def _emit_write(self, statement: Statement, tuple_id: TupleId) -> int:
+        self._require_unwritten(statement, tuple_id)
+        self.writes_seen.add(tuple_id)
+        return self._emit(Operation.write(self.tx, len(self.ops), tuple_id, statement.writes))
+
+    def _add_insert(self, statement: Statement, tuples: tuple[TupleId, ...]) -> None:
+        (tuple_id,) = tuples
+        self._require_unwritten(statement, tuple_id)
+        self.writes_seen.add(tuple_id)
+        self._emit(Operation.insert(self.tx, len(self.ops), tuple_id, statement.writes))
+
+    def _add_key_select(self, statement: Statement, tuples: tuple[TupleId, ...]) -> None:
+        self._emit_read(statement, tuples[0])
+
+    def _add_key_update(self, statement: Statement, tuples: tuple[TupleId, ...]) -> None:
+        (tuple_id,) = tuples
+        read_index = self._emit_read(statement, tuple_id)
+        write_index = self._emit_write(statement, tuple_id)
+        if read_index is not None:
+            self.chunks.append((read_index, write_index))
+
+    def _add_key_delete(self, statement: Statement, tuples: tuple[TupleId, ...]) -> None:
+        (tuple_id,) = tuples
+        self._require_unwritten(statement, tuple_id)
+        self.writes_seen.add(tuple_id)
+        self._emit(Operation.delete(self.tx, len(self.ops), tuple_id, statement.writes))
+
+    def _add_pred_select(self, statement: Statement, tuples: tuple[TupleId, ...]) -> None:
+        start = self._emit(
+            Operation.pred_read(self.tx, len(self.ops), statement.relation, statement.preads)
+        )
+        for tuple_id in tuples:
+            self._emit_read(statement, tuple_id)
+        self.chunks.append((start, len(self.ops) - 1))
+
+    def _add_pred_update(self, statement: Statement, tuples: tuple[TupleId, ...]) -> None:
+        if self.postgres_predicate_updates:
+            # Section 5.4: Postgres first selects the matching tuples (a
+            # predicate-read-only chunk), then re-evaluates the predicate
+            # while updating (the conventional chunk).
+            first = self._emit(
+                Operation.pred_read(
+                    self.tx, len(self.ops), statement.relation, statement.preads
+                )
+            )
+            self.chunks.append((first, first))
+        start = self._emit(
+            Operation.pred_read(self.tx, len(self.ops), statement.relation, statement.preads)
+        )
+        for tuple_id in tuples:
+            self._emit_read(statement, tuple_id)
+            self._emit_write(statement, tuple_id)
+        self.chunks.append((start, len(self.ops) - 1))
+
+    def _add_pred_delete(self, statement: Statement, tuples: tuple[TupleId, ...]) -> None:
+        start = self._emit(
+            Operation.pred_read(self.tx, len(self.ops), statement.relation, statement.preads)
+        )
+        for tuple_id in tuples:
+            self._require_unwritten(statement, tuple_id)
+            self.writes_seen.add(tuple_id)
+            self._emit(Operation.delete(self.tx, len(self.ops), tuple_id, statement.writes))
+        self.chunks.append((start, len(self.ops) - 1))
+
+    def build(self, origin: str = "") -> Transaction:
+        ops = list(self.ops)
+        ops.append(Operation.commit(self.tx, len(ops)))
+        return Transaction(self.tx, ops, self.chunks, origin)
+
+
+def enumerate_choices(
+    program: LTP,
+    universe: TupleUniverse,
+    max_matched: int = 2,
+) -> Iterator[tuple[Choice, ...]]:
+    """Enumerate all FK-consistent choice vectors over the universe.
+
+    Key-based statements range over the existing tuples of their relation;
+    predicate-based statements range over all matched subsets of size at
+    most ``max_matched`` (in index order); inserts are left to the
+    instantiator (empty choice).  Vectors violating an FK annotation are
+    filtered out.
+    """
+    per_position: list[list[Choice]] = []
+    for occurrence in program.occurrences:
+        statement = occurrence.statement
+        existing = universe.existing(statement.relation)
+        if statement.stype is StatementType.INSERT:
+            per_position.append([()])
+        elif statement.stype.is_key_based:
+            per_position.append([(tuple_id,) for tuple_id in existing])
+        else:
+            subsets: list[Choice] = []
+            for size in range(0, min(max_matched, len(existing)) + 1):
+                subsets.extend(itertools.combinations(existing, size))
+            per_position.append(subsets)
+    for vector in itertools.product(*per_position):
+        if _constraints_hold(program, universe, vector):
+            yield vector
+
+
+def _constraints_hold(
+    program: LTP, universe: TupleUniverse, vector: Sequence[Choice]
+) -> bool:
+    for instance in program.constraints:
+        targets = vector[instance.target_pos]
+        if len(targets) != 1:
+            if not targets:
+                continue  # insert placeholder resolved later; cannot constrain
+            return False
+        for source in vector[instance.source_pos]:
+            if universe.fk_image(instance.fk, source) != targets[0]:
+                return False
+    return True

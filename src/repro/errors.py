@@ -1,0 +1,58 @@
+"""Exception hierarchy shared by all ``repro`` subpackages.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subpackages define more specific
+subclasses where a caller may plausibly want to distinguish failure modes
+(schema problems vs. malformed programs vs. SQL syntax errors vs. invalid
+schedules).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """An inconsistency in a relational schema definition.
+
+    Raised for duplicate relation names, unknown attributes in keys or
+    foreign keys, foreign keys over unknown relations, and similar
+    structural problems.
+    """
+
+
+class ProgramError(ReproError):
+    """An inconsistency in a BTP/LTP definition.
+
+    Raised when a statement violates the constraints of Figure 5, when a
+    foreign-key annotation refers to unknown statements or does not match
+    the declared foreign key, and for malformed program ASTs.
+    """
+
+
+class SqlError(ReproError):
+    """A SQL program could not be lexed, parsed, or translated to a BTP."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ScheduleError(ReproError):
+    """A multiversion schedule violates the validity rules of Section 3.3."""
+
+
+class InstantiationError(ReproError):
+    """A transaction could not be instantiated from a program.
+
+    Raised when tuple choices violate foreign-key annotations or when the
+    tuple universe is too small for the requested instantiation.
+    """

@@ -1,0 +1,24 @@
+"""Plain-text table rendering shared by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned monospace table with a header separator."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(value.ljust(width) for value, width in zip(row, widths)).rstrip()
+    lines = [fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+def check_mark(matches: bool) -> str:
+    """``ok`` / ``MISMATCH`` marker used in paper-vs-measured tables."""
+    return "ok" if matches else "MISMATCH"

@@ -1,0 +1,93 @@
+"""Table 2: benchmark characteristics.
+
+For each benchmark: number of relations, attributes per relation, number
+of transaction programs, number of unfolded LTP nodes, and the number of
+(counterflow) edges in the summary graph under the full
+'attr dep + FK' setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import expected
+from repro.experiments.reporting import check_mark, render_table
+from repro.summary.settings import ATTR_DEP_FK
+from repro.workloads import auction, auction_n, smallbank, tpcc
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    benchmark: str
+    relations: int
+    attributes_per_relation: str
+    programs: int
+    nodes: int
+    edges: int
+    counterflow: int
+
+    def matches_paper(self) -> bool:
+        paper = expected.TABLE2.get(self.benchmark)
+        if paper is None:
+            return True
+        return (
+            paper["relations"] == self.relations
+            and paper["programs"] == self.programs
+            and paper["nodes"] == self.nodes
+            and paper["edges"] == self.edges
+            and paper["counterflow"] == self.counterflow
+        )
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    rows: tuple[Table2Row, ...]
+
+    def to_text(self) -> str:
+        headers = [
+            "benchmark", "relations", "attrs/rel", "programs",
+            "nodes", "edges (cf)", "vs paper",
+        ]
+        body = [
+            [
+                row.benchmark,
+                row.relations,
+                row.attributes_per_relation,
+                row.programs,
+                row.nodes,
+                f"{row.edges} ({row.counterflow})",
+                check_mark(row.matches_paper()),
+            ]
+            for row in self.rows
+        ]
+        return "Table 2 — benchmark characteristics ('attr dep + FK')\n" + render_table(
+            headers, body
+        )
+
+
+def characterize(workload: Workload) -> Table2Row:
+    """Compute one Table 2 row for a workload."""
+    graph = workload.summary_graph(ATTR_DEP_FK)
+    attr_counts = sorted(len(relation.attributes) for relation in workload.schema)
+    if attr_counts[0] == attr_counts[-1]:
+        attrs = str(attr_counts[0])
+    else:
+        attrs = f"{attr_counts[0]}-{attr_counts[-1]}"
+    return Table2Row(
+        benchmark=workload.name,
+        relations=len(workload.schema.relations),
+        attributes_per_relation=attrs,
+        programs=len(workload.programs),
+        nodes=len(graph),
+        edges=graph.edge_count,
+        counterflow=graph.counterflow_count,
+    )
+
+
+def run_table2(auction_scale: int | None = 4) -> Table2Result:
+    """Regenerate Table 2 (optionally including one Auction(n) row)."""
+    rows = [characterize(smallbank()), characterize(tpcc()), characterize(auction())]
+    if auction_scale is not None and auction_scale > 1:
+        rows.append(characterize(auction_n(auction_scale)))
+    return Table2Result(tuple(rows))

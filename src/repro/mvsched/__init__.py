@@ -1,0 +1,52 @@
+"""Multiversion schedules — the formal substrate of Section 3.
+
+This package implements the paper's schedule model in full: tuples with
+unborn/visible/dead versions, the five operation kinds (R, W, I, D, PR) plus
+commits, transactions with atomic chunks, multiversion schedules with their
+validity rules (Section 3.3), the MVRC admissibility conditions
+(read-last-committed + no dirty writes, Definition 3.3), the five dependency
+kinds (Section 3.4), serialization graphs, conflict serializability
+(Theorem 3.2), and the cycle classification of Definition 4.3 used to
+validate Theorem 4.2 empirically.
+"""
+
+from repro.mvsched.tuples import TupleId, Version, VersionKind
+from repro.mvsched.operations import OpKind, Operation
+from repro.mvsched.transaction import Transaction
+from repro.mvsched.schedule import Schedule
+from repro.mvsched.mvrc import (
+    allowed_under_mvrc,
+    find_dirty_write,
+    is_read_last_committed,
+)
+from repro.mvsched.dependencies import Dependency, DependencyKind, dependencies
+from repro.mvsched.serialization import (
+    SerializationGraph,
+    classify_cycle,
+    cycle_is_type1,
+    cycle_is_type2,
+    is_conflict_serializable,
+    serialization_graph,
+)
+
+__all__ = [
+    "TupleId",
+    "Version",
+    "VersionKind",
+    "Operation",
+    "OpKind",
+    "Transaction",
+    "Schedule",
+    "allowed_under_mvrc",
+    "is_read_last_committed",
+    "find_dirty_write",
+    "Dependency",
+    "DependencyKind",
+    "dependencies",
+    "SerializationGraph",
+    "serialization_graph",
+    "is_conflict_serializable",
+    "cycle_is_type1",
+    "cycle_is_type2",
+    "classify_cycle",
+]

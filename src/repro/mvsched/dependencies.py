@@ -1,0 +1,128 @@
+"""Dependencies between operations (Section 3.4).
+
+Five kinds: ww-dependencies, wr-dependencies, rw-antidependencies, and
+their predicate variants (predicate wr-dependencies from a write to a
+predicate read, predicate rw-antidependencies from a predicate read to a
+write).  A dependency ``b_i →_s a_j`` is *counterflow* when ``C_j <_s C_i``
+(Lemma 4.1: under MVRC only the (predicate) rw kinds can be counterflow).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.mvsched.operations import OpKind, Operation
+from repro.mvsched.schedule import Schedule
+
+
+class DependencyKind(enum.Enum):
+    WW = "ww"
+    WR = "wr"
+    RW = "rw"
+    PRED_WR = "pred-wr"
+    PRED_RW = "pred-rw"
+
+    @property
+    def is_antidependency(self) -> bool:
+        return self in (DependencyKind.RW, DependencyKind.PRED_RW)
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """``source →_s target`` with its kind and counterflow flag."""
+
+    source: Operation
+    target: Operation
+    kind: DependencyKind
+    counterflow: bool
+
+    def __str__(self) -> str:
+        marker = " (counterflow)" if self.counterflow else ""
+        return f"{self.source} -[{self.kind.value}]-> {self.target}{marker}"
+
+
+def _attrs_overlap(bi: Operation, aj: Operation) -> bool:
+    return bool(bi.attrs & aj.attrs)
+
+
+def _ww(schedule: Schedule, bi: Operation, aj: Operation) -> bool:
+    if not (bi.is_write and aj.is_write and bi.tuple == aj.tuple):
+        return False
+    if not _attrs_overlap(bi, aj):
+        return False
+    return schedule.version_before(schedule.write_version[bi], schedule.write_version[aj])
+
+
+def _wr(schedule: Schedule, bi: Operation, aj: Operation) -> bool:
+    if not (bi.is_write and aj.is_read and bi.tuple == aj.tuple):
+        return False
+    if not _attrs_overlap(bi, aj):
+        return False
+    written = schedule.write_version[bi]
+    observed = schedule.read_version[aj]
+    return written == observed or schedule.version_before(written, observed)
+
+
+def _rw(schedule: Schedule, bi: Operation, aj: Operation) -> bool:
+    if not (bi.is_read and aj.is_write and bi.tuple == aj.tuple):
+        return False
+    if not _attrs_overlap(bi, aj):
+        return False
+    return schedule.version_before(schedule.read_version[bi], schedule.write_version[aj])
+
+
+def _pred_wr(schedule: Schedule, bi: Operation, aj: Operation) -> bool:
+    if not (bi.is_write and aj.is_pred_read and bi.tuple is not None):
+        return False
+    if bi.tuple.relation != aj.relation:
+        return False
+    observed = schedule.vset[aj].get(bi.tuple)
+    if observed is None:
+        return False
+    written = schedule.write_version[bi]
+    if not (written == observed or schedule.version_before(written, observed)):
+        return False
+    if bi.kind in (OpKind.INSERT, OpKind.DELETE):
+        return True
+    return _attrs_overlap(bi, aj)
+
+
+def _pred_rw(schedule: Schedule, bi: Operation, aj: Operation) -> bool:
+    if not (bi.is_pred_read and aj.is_write and aj.tuple is not None):
+        return False
+    if aj.tuple.relation != bi.relation:
+        return False
+    observed = schedule.vset[bi].get(aj.tuple)
+    if observed is None:
+        return False
+    if not schedule.version_before(observed, schedule.write_version[aj]):
+        return False
+    if aj.kind in (OpKind.INSERT, OpKind.DELETE):
+        return True
+    return _attrs_overlap(bi, aj)
+
+
+_CHECKS = (
+    (DependencyKind.WW, _ww),
+    (DependencyKind.WR, _wr),
+    (DependencyKind.RW, _rw),
+    (DependencyKind.PRED_WR, _pred_wr),
+    (DependencyKind.PRED_RW, _pred_rw),
+)
+
+
+def dependencies(schedule: Schedule) -> tuple[Dependency, ...]:
+    """All dependencies between operations of different transactions."""
+    result = []
+    data_ops = [op for op in schedule.order if not op.is_commit]
+    commit_position = schedule.commit_position
+    for bi in data_ops:
+        for aj in data_ops:
+            if bi.tx == aj.tx:
+                continue
+            for kind, check in _CHECKS:
+                if check(schedule, bi, aj):
+                    counterflow = commit_position[aj.tx] < commit_position[bi.tx]
+                    result.append(Dependency(bi, aj, kind, counterflow))
+    return tuple(result)

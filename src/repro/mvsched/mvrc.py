@@ -1,0 +1,97 @@
+"""MVRC admissibility: read-last-committed and dirty writes (Section 3.5).
+
+A schedule is allowed under multiversion Read Committed iff it is
+*read-last-committed* — the version order is consistent with the commit
+order and every (predicate) read observes, per tuple, the most recently
+committed version — and exhibits no *dirty write* (no transaction writes a
+tuple modified by another, still-uncommitted transaction).
+"""
+
+from __future__ import annotations
+
+from repro.mvsched.operations import Operation
+from repro.mvsched.schedule import Schedule
+
+
+def find_dirty_write(schedule: Schedule) -> tuple[Operation, Operation] | None:
+    """Return a pair ``(b_i, a_j)`` witnessing a dirty write, or None.
+
+    ``b_i <_s a_j <_s C_i`` with both operations writing the same tuple
+    from different transactions.
+    """
+    writes_by_tuple: dict = {}
+    for op in schedule.order:
+        if op.is_write:
+            writes_by_tuple.setdefault(op.tuple, []).append(op)
+    for writes in writes_by_tuple.values():
+        for bi in writes:
+            commit_bi = schedule.commit_position[bi.tx]
+            for aj in writes:
+                if aj.tx == bi.tx:
+                    continue
+                position_aj = schedule.position[aj]
+                if schedule.position[bi] < position_aj < commit_bi:
+                    return (bi, aj)
+    return None
+
+
+def _version_order_consistent_with_commits(schedule: Schedule) -> bool:
+    """``v^w(b_i) ≪_s v^w(a_j)`` iff ``C_i <_s C_j`` for all write pairs."""
+    writes_by_tuple: dict = {}
+    for op in schedule.order:
+        if op.is_write:
+            writes_by_tuple.setdefault(op.tuple, []).append(op)
+    for writes in writes_by_tuple.values():
+        for bi in writes:
+            for aj in writes:
+                if bi is aj:
+                    continue
+                version_before = schedule.version_before(
+                    schedule.write_version[bi], schedule.write_version[aj]
+                )
+                commit_before = (
+                    schedule.commit_position[bi.tx] < schedule.commit_position[aj.tx]
+                )
+                if version_before != commit_before:
+                    return False
+    return True
+
+
+def _observation_is_last_committed(schedule: Schedule, op: Operation, tuple_id, version) -> bool:
+    """One bullet of the RLC definition for a single observed tuple version."""
+    writers = {v: w for w, v in schedule.write_version.items()}
+    if version != schedule.init_version.get(tuple_id):
+        writer = writers.get(version)
+        if writer is None:
+            return False
+        if not schedule.commit_position[writer.tx] < schedule.position[op]:
+            return False
+    # No committed write may have installed a newer version before the read.
+    for other in schedule.writes_on(tuple_id):
+        if schedule.commit_position[other.tx] < schedule.position[op] and (
+            schedule.version_before(version, schedule.write_version[other])
+        ):
+            return False
+    return True
+
+
+def is_read_last_committed(schedule: Schedule) -> bool:
+    """The read-last-committed property of Section 3.5."""
+    if not _version_order_consistent_with_commits(schedule):
+        return False
+    for op in schedule.order:
+        if op.is_read:
+            if not _observation_is_last_committed(
+                schedule, op, op.tuple, schedule.read_version[op]
+            ):
+                return False
+        elif op.is_pred_read:
+            for tuple_id, version in schedule.vset[op].items():
+                if not _observation_is_last_committed(schedule, op, tuple_id, version):
+                    return False
+    return True
+
+
+def allowed_under_mvrc(schedule: Schedule) -> bool:
+    """Definition 3.3: read-last-committed and free of dirty writes."""
+    return find_dirty_write(schedule) is None and is_read_last_committed(schedule)

@@ -1,0 +1,113 @@
+"""Operations over tuples and relations (Section 3.2).
+
+Five operation kinds act on data — ``R[t]``, ``W[t]``, ``I[t]``, ``D[t]``
+and the predicate read ``PR[R]`` — plus the commit operation ``C``.  Every
+operation carries the attribute set ``Attr(o)`` it observes or modifies
+(for predicate reads: the attributes the predicate is evaluated over).
+Operations are identified by ``(tx, index)`` — their position within their
+transaction — which keeps them hashable for the version functions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.mvsched.tuples import TupleId
+
+
+class OpKind(enum.Enum):
+    READ = "R"
+    WRITE = "W"
+    INSERT = "I"
+    DELETE = "D"
+    PRED_READ = "PR"
+    COMMIT = "C"
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a transaction.
+
+    ``tx`` is the owning transaction id and ``index`` the operation's
+    position within that transaction.  ``tuple`` is set for R/W/I/D
+    operations, ``relation`` for predicate reads (and derived from
+    ``tuple`` otherwise); commits carry neither.
+    """
+
+    kind: OpKind
+    tx: int
+    index: int
+    tuple: TupleId | None = None
+    relation: str | None = None
+    attrs: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.kind is OpKind.COMMIT:
+            if self.tuple is not None or self.relation is not None:
+                raise ValueError("commit operations carry no tuple or relation")
+            return
+        if self.kind is OpKind.PRED_READ:
+            if self.relation is None or self.tuple is not None:
+                raise ValueError("predicate reads are over a relation, not a tuple")
+            return
+        if self.tuple is None:
+            raise ValueError(f"{self.kind.value} operations require a tuple")
+        if self.relation is None:
+            object.__setattr__(self, "relation", self.tuple.relation)
+        elif self.relation != self.tuple.relation:
+            raise ValueError(
+                f"operation relation {self.relation!r} does not match tuple "
+                f"relation {self.tuple.relation!r}"
+            )
+
+    # -- classification ----------------------------------------------------
+    @property
+    def is_read(self) -> bool:
+        """R-operation (plain read; predicate reads are separate)."""
+        return self.kind is OpKind.READ
+
+    @property
+    def is_pred_read(self) -> bool:
+        return self.kind is OpKind.PRED_READ
+
+    @property
+    def is_write(self) -> bool:
+        """Write operation in the paper's sense: ``W``, ``I`` or ``D``."""
+        return self.kind in (OpKind.WRITE, OpKind.INSERT, OpKind.DELETE)
+
+    @property
+    def is_commit(self) -> bool:
+        return self.kind is OpKind.COMMIT
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def read(cls, tx: int, index: int, tuple_id: TupleId, attrs=()) -> "Operation":
+        return cls(OpKind.READ, tx, index, tuple_id, None, frozenset(attrs))
+
+    @classmethod
+    def write(cls, tx: int, index: int, tuple_id: TupleId, attrs=()) -> "Operation":
+        return cls(OpKind.WRITE, tx, index, tuple_id, None, frozenset(attrs))
+
+    @classmethod
+    def insert(cls, tx: int, index: int, tuple_id: TupleId, attrs=()) -> "Operation":
+        return cls(OpKind.INSERT, tx, index, tuple_id, None, frozenset(attrs))
+
+    @classmethod
+    def delete(cls, tx: int, index: int, tuple_id: TupleId, attrs=()) -> "Operation":
+        return cls(OpKind.DELETE, tx, index, tuple_id, None, frozenset(attrs))
+
+    @classmethod
+    def pred_read(cls, tx: int, index: int, relation: str, attrs=()) -> "Operation":
+        return cls(OpKind.PRED_READ, tx, index, None, relation, frozenset(attrs))
+
+    @classmethod
+    def commit(cls, tx: int, index: int) -> "Operation":
+        return cls(OpKind.COMMIT, tx, index)
+
+    def __str__(self) -> str:
+        if self.kind is OpKind.COMMIT:
+            return f"C{self.tx}"
+        if self.kind is OpKind.PRED_READ:
+            return f"PR{self.tx}[{self.relation}]"
+        return f"{self.kind.value}{self.tx}[{self.tuple}]"

@@ -1,0 +1,164 @@
+"""Transactions and atomic chunks (Section 3.3).
+
+A transaction is a sequence of R/W/I/D/PR operations followed by a single
+commit.  Atomic chunks mark subsequences that other transactions may not
+interleave (key-based updates ``R[t]W[t]`` and the predicate-based
+selection/update/deletion patterns).  The paper assumes at most one read
+and at most one write operation per tuple per transaction; the constructor
+enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ScheduleError
+from repro.mvsched.operations import OpKind, Operation
+from repro.mvsched.tuples import TupleId
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A transaction: operations (commit last) plus atomic chunk spans.
+
+    ``chunks`` are (first_index, last_index) pairs, inclusive, into
+    ``operations``.
+    """
+
+    tx: int
+    operations: tuple[Operation, ...]
+    chunks: tuple[tuple[int, int], ...] = field(default=())
+    origin: str = ""
+
+    def __init__(
+        self,
+        tx: int,
+        operations: Iterable[Operation],
+        chunks: Iterable[tuple[int, int]] = (),
+        origin: str = "",
+    ):
+        object.__setattr__(self, "tx", tx)
+        object.__setattr__(self, "operations", tuple(operations))
+        object.__setattr__(self, "chunks", tuple(chunks))
+        object.__setattr__(self, "origin", origin)
+        self._validate()
+
+    def _validate(self) -> None:
+        ops = self.operations
+        if not ops or not ops[-1].is_commit:
+            raise ScheduleError(f"transaction {self.tx}: must end with a commit")
+        if sum(1 for op in ops if op.is_commit) != 1:
+            raise ScheduleError(f"transaction {self.tx}: exactly one commit allowed")
+        for index, op in enumerate(ops):
+            if op.tx != self.tx:
+                raise ScheduleError(
+                    f"transaction {self.tx}: operation {op} belongs to transaction {op.tx}"
+                )
+            if op.index != index:
+                raise ScheduleError(
+                    f"transaction {self.tx}: operation {op} has index {op.index}, "
+                    f"expected {index}"
+                )
+        reads_seen: set[TupleId] = set()
+        writes_seen: set[TupleId] = set()
+        for op in ops:
+            if op.is_read:
+                if op.tuple in reads_seen:
+                    raise ScheduleError(
+                        f"transaction {self.tx}: multiple reads of {op.tuple} "
+                        "(the paper assumes at most one read per tuple)"
+                    )
+                reads_seen.add(op.tuple)
+            elif op.is_write:
+                if op.tuple in writes_seen:
+                    raise ScheduleError(
+                        f"transaction {self.tx}: multiple writes of {op.tuple} "
+                        "(the paper assumes at most one write per tuple)"
+                    )
+                writes_seen.add(op.tuple)
+        for first, last in self.chunks:
+            if not 0 <= first <= last < len(ops) - 1:
+                raise ScheduleError(
+                    f"transaction {self.tx}: chunk ({first}, {last}) out of range"
+                )
+
+    # -- accessors ----------------------------------------------------------
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    @property
+    def commit(self) -> Operation:
+        """The transaction's commit operation."""
+        return self.operations[-1]
+
+    @cached_property
+    def data_operations(self) -> tuple[Operation, ...]:
+        """All operations except the commit."""
+        return self.operations[:-1]
+
+    def chunk_units(self) -> tuple[tuple[Operation, ...], ...]:
+        """The transaction partitioned into interleaving units.
+
+        Operations inside an atomic chunk form one unit; every other
+        operation (including the commit) is its own unit.  Executors
+        schedule these units, which guarantees chunk atomicity by
+        construction.
+        """
+        in_chunk: dict[int, tuple[int, int]] = {}
+        for span in self.chunks:
+            for index in range(span[0], span[1] + 1):
+                in_chunk[index] = span
+        units: list[tuple[Operation, ...]] = []
+        index = 0
+        while index < len(self.operations):
+            span = in_chunk.get(index)
+            if span is None:
+                units.append((self.operations[index],))
+                index += 1
+            else:
+                units.append(tuple(self.operations[span[0]: span[1] + 1]))
+                index = span[1] + 1
+        return tuple(units)
+
+    def position(self, op: Operation) -> int:
+        """The operation's index within this transaction."""
+        if op.tx != self.tx or not 0 <= op.index < len(self.operations):
+            raise ScheduleError(f"operation {op} does not belong to transaction {self.tx}")
+        return op.index
+
+    def precedes(self, first: Operation, second: Operation) -> bool:
+        """``first <_T second`` — strict transaction order."""
+        return self.position(first) < self.position(second)
+
+    def __str__(self) -> str:
+        return f"T{self.tx}: " + " ".join(str(op) for op in self.operations)
+
+
+def make_transaction(
+    tx: int,
+    spec: Sequence[tuple],
+    chunks: Iterable[tuple[int, int]] = (),
+    origin: str = "",
+) -> Transaction:
+    """Build a transaction from a compact spec (mostly for tests).
+
+    Each entry of ``spec`` is ``(kind, tuple_or_relation, attrs)``; the
+    commit is appended automatically.  Example::
+
+        make_transaction(1, [("R", t1, {"calls"}), ("W", t1, {"calls"})],
+                         chunks=[(0, 1)])
+    """
+    ops = []
+    for index, (kind, target, attrs) in enumerate(spec):
+        kind = OpKind(kind) if not isinstance(kind, OpKind) else kind
+        if kind is OpKind.PRED_READ:
+            ops.append(Operation.pred_read(tx, index, target, attrs))
+        else:
+            ops.append(Operation(kind, tx, index, target, None, frozenset(attrs)))
+    ops.append(Operation.commit(tx, len(ops)))
+    return Transaction(tx, ops, chunks, origin)

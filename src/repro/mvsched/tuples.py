@@ -1,0 +1,74 @@
+"""Tuples and versions (Section 3.1).
+
+Every tuple ``t`` has an associated set of versions ``V(t)`` containing the
+special *unborn* and *dead* versions plus the *visible* versions created by
+writes.  The version order ``≪_s`` of a schedule always has the unborn
+version first and the dead version last; visible versions are ordered by
+their sequence number (assigned by the schedule in commit order under MVRC).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TupleId:
+    """An abstract tuple: an element of ``I(R)`` for relation ``R``."""
+
+    relation: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.relation}:{self.index}"
+
+
+class VersionKind(enum.Enum):
+    """The three version kinds of Section 3.1."""
+
+    UNBORN = "unborn"
+    VISIBLE = "visible"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class Version:
+    """A version of a tuple; ``seq`` orders the visible versions."""
+
+    tuple: TupleId
+    kind: VersionKind
+    seq: int = 0
+
+    @classmethod
+    def unborn(cls, tuple_id: TupleId) -> "Version":
+        return cls(tuple_id, VersionKind.UNBORN)
+
+    @classmethod
+    def dead(cls, tuple_id: TupleId) -> "Version":
+        return cls(tuple_id, VersionKind.DEAD)
+
+    @classmethod
+    def visible(cls, tuple_id: TupleId, seq: int) -> "Version":
+        return cls(tuple_id, VersionKind.VISIBLE, seq)
+
+    @property
+    def is_visible(self) -> bool:
+        return self.kind is VersionKind.VISIBLE
+
+    @property
+    def sort_key(self) -> tuple[int, int]:
+        """Key realising the canonical order unborn ≪ visible(seq) ≪ dead."""
+        order = {VersionKind.UNBORN: 0, VersionKind.VISIBLE: 1, VersionKind.DEAD: 2}
+        return (order[self.kind], self.seq)
+
+    def precedes(self, other: "Version") -> bool:
+        """Strict canonical version order within one tuple's ``V(t)``."""
+        if self.tuple != other.tuple:
+            raise ValueError(f"cannot compare versions of {self.tuple} and {other.tuple}")
+        return self.sort_key < other.sort_key
+
+    def __str__(self) -> str:
+        if self.kind is VersionKind.VISIBLE:
+            return f"{self.tuple}.v{self.seq}"
+        return f"{self.tuple}.{self.kind.value}"

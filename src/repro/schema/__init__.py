@@ -1,0 +1,12 @@
+"""Relational schemas: relations, attributes, primary keys, foreign keys.
+
+This package models the pair ``(Rels, FKeys)`` of Section 3.1 of the paper.
+A :class:`Relation` carries a finite attribute set and a primary key; a
+:class:`ForeignKey` is a named mapping from a *domain* relation to a *range*
+relation, realised over concrete attribute columns; a :class:`Schema` is a
+validated collection of both.
+"""
+
+from repro.schema.model import ForeignKey, Relation, Schema
+
+__all__ = ["Relation", "ForeignKey", "Schema"]

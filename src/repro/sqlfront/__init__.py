@@ -1,0 +1,23 @@
+"""SQL front-end: translating the Appendix A SQL fragment into BTPs.
+
+The paper's Appendix A defines how SQL transaction programs map onto BTP
+statements: SELECT/UPDATE/INSERT/DELETE with key- or predicate-based WHERE
+clauses become the seven statement types, ``IF … THEN … [ELSE …] END IF``
+becomes branching ``(P|P)`` / ``(P|ε)``, and ``REPEAT … END REPEAT``
+becomes ``loop(P)``.  :func:`parse_program` turns SQL text into a BTP
+automatically — the paper's point (iii): no database specialist needed to
+build the summary graph.
+"""
+
+from repro.sqlfront.lexer import Token, TokenKind, tokenize
+from repro.sqlfront.parser import parse_sql
+from repro.sqlfront.translate import parse_program, translate
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "TokenKind",
+    "parse_sql",
+    "translate",
+    "parse_program",
+]

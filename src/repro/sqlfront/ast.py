@@ -1,0 +1,266 @@
+"""AST for the Appendix A SQL fragment.
+
+Expressions track which relation attributes they mention (that is all the
+BTP translation needs); conditions additionally expose their conjunctive
+structure so the translator can decide key-based vs. predicate-based
+retrieval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+
+# -- expressions -------------------------------------------------------------
+class Expr:
+    """Base class for expressions."""
+
+    def attributes(self) -> frozenset[str]:
+        """All attribute names mentioned in the expression."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AttrRef(Expr):
+    """A column reference (possibly written ``alias.column`` in the source)."""
+
+    name: str
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ParamRef(Expr):
+    """A ``:parameter`` placeholder."""
+
+    name: str
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return f":{self.name}"
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A number or string literal."""
+
+    value: str
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """An arithmetic expression ``left op right``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# -- conditions ---------------------------------------------------------------
+class Condition:
+    """Base class for WHERE conditions."""
+
+    def attributes(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def conjuncts(self) -> Iterator["Condition"]:
+        """Top-level AND-conjuncts (a single atom yields itself)."""
+        yield self
+
+    @property
+    def is_pure_conjunction(self) -> bool:
+        """True when the condition is a conjunction of comparisons."""
+        return all(isinstance(c, Comparison) for c in self.conjuncts())
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """``left op right`` with a comparison operator."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def attributes(self) -> frozenset[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def pinned_attribute(self) -> str | None:
+        """The attribute this comparison pins to a constant, if any.
+
+        ``attr = <expr without attributes>`` (either way around) pins
+        ``attr``; anything else pins nothing.
+        """
+        if self.op != "=":
+            return None
+        for attr_side, other in ((self.left, self.right), (self.right, self.left)):
+            if isinstance(attr_side, AttrRef) and not other.attributes():
+                return attr_side.name
+        return None
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    items: tuple[Condition, ...]
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(item.attributes() for item in self.items))
+
+    def conjuncts(self) -> Iterator[Condition]:
+        for item in self.items:
+            yield from item.conjuncts()
+
+    def __str__(self) -> str:
+        return " AND ".join(str(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    items: tuple[Condition, ...]
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(item.attributes() for item in self.items))
+
+    @property
+    def is_pure_conjunction(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return " OR ".join(str(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    item: Condition
+
+    def attributes(self) -> frozenset[str]:
+        return self.item.attributes()
+
+    @property
+    def is_pure_conjunction(self) -> bool:
+        return False
+
+    def __str__(self) -> str:
+        return f"NOT ({self.item})"
+
+
+# -- statements -----------------------------------------------------------------
+class SqlNode:
+    """Base class for parsed SQL statements and control structures."""
+
+
+@dataclass(frozen=True)
+class SelectStmt(SqlNode):
+    relation: str
+    select_list: tuple[Expr, ...]
+    where: Condition
+    into: tuple[str, ...] = ()
+    #: Further relations of a multi-relation (join) SELECT — the Section 5.4
+    #: extension.  Such statements translate to one predicate-based
+    #: selection per relation.
+    extra_relations: tuple[str, ...] = ()
+
+    @property
+    def relations(self) -> tuple[str, ...]:
+        return (self.relation, *self.extra_relations)
+
+    def select_attributes(self) -> frozenset[str]:
+        return frozenset().union(*(e.attributes() for e in self.select_list))
+
+
+@dataclass(frozen=True)
+class UpdateStmt(SqlNode):
+    relation: str
+    assignments: tuple[tuple[str, Expr], ...]
+    where: Condition
+    returning: tuple[Expr, ...] = ()
+    returning_into: tuple[str, ...] = ()
+
+    def written_attributes(self) -> frozenset[str]:
+        return frozenset(attr for attr, _ in self.assignments)
+
+    def read_attributes(self) -> frozenset[str]:
+        read = frozenset().union(*(expr.attributes() for _, expr in self.assignments))
+        if self.returning:
+            read |= frozenset().union(*(e.attributes() for e in self.returning))
+        return read
+
+
+@dataclass(frozen=True)
+class InsertStmt(SqlNode):
+    relation: str
+    columns: tuple[str, ...]
+    values: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class DeleteStmt(SqlNode):
+    relation: str
+    where: Condition
+
+
+@dataclass(frozen=True)
+class IfStmt(SqlNode):
+    condition_text: str
+    then_body: tuple[SqlNode, ...]
+    else_body: tuple[SqlNode, ...] = ()
+
+
+@dataclass(frozen=True)
+class RepeatStmt(SqlNode):
+    body: tuple[SqlNode, ...]
+
+
+@dataclass(frozen=True)
+class AssignStmt(SqlNode):
+    """A host-variable assignment like ``:logId = uniqueLogId()`` (no-op)."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class CommitStmt(SqlNode):
+    pass
+
+
+@dataclass(frozen=True)
+class SqlProgram(SqlNode):
+    """A full parsed transaction program."""
+
+    body: tuple[SqlNode, ...] = field(default=())
+
+    def __iter__(self) -> Iterator[SqlNode]:
+        return iter(self.body)
+
+
+def data_statements(nodes: Sequence[SqlNode]) -> Iterator[SqlNode]:
+    """All SELECT/UPDATE/INSERT/DELETE statements, recursing into control flow."""
+    for node in nodes:
+        if isinstance(node, (SelectStmt, UpdateStmt, InsertStmt, DeleteStmt)):
+            yield node
+        elif isinstance(node, IfStmt):
+            yield from data_statements(node.then_body)
+            yield from data_statements(node.else_body)
+        elif isinstance(node, RepeatStmt):
+            yield from data_statements(node.body)

@@ -1,0 +1,329 @@
+"""Recursive-descent parser for the Appendix A SQL fragment."""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sqlfront.ast import (
+    And,
+    AssignStmt,
+    AttrRef,
+    BinOp,
+    CommitStmt,
+    Comparison,
+    Condition,
+    DeleteStmt,
+    Expr,
+    IfStmt,
+    InsertStmt,
+    Literal,
+    Not,
+    Or,
+    ParamRef,
+    RepeatStmt,
+    SelectStmt,
+    SqlNode,
+    SqlProgram,
+    UpdateStmt,
+)
+from repro.sqlfront.lexer import Token, TokenKind, tokenize
+
+_COMPARISON_OPS = ("=", "<", ">", "<=", ">=", "<>", "!=")
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    # -- token plumbing -------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.index += 1
+        return token
+
+    def error(self, message: str) -> SqlError:
+        token = self.current
+        return SqlError(f"{message} (got {token})", token.line, token.column)
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            raise self.error(f"expected {' or '.join(names)}")
+        return self.advance()
+
+    def expect_op(self, symbol: str) -> Token:
+        if not self.current.is_op(symbol):
+            raise self.error(f"expected {symbol!r}")
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise self.error("expected an identifier")
+        return self.advance()
+
+    def accept_op(self, symbol: str) -> bool:
+        if self.current.is_op(symbol):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def skip_semicolons(self) -> None:
+        while self.current.is_op(";"):
+            self.advance()
+
+    # -- program structure ------------------------------------------------------
+    def parse_program(self) -> SqlProgram:
+        body = self.parse_statements(terminators=())
+        if self.current.kind is not TokenKind.EOF:
+            raise self.error("unexpected trailing input")
+        return SqlProgram(tuple(body))
+
+    def parse_statements(self, terminators: tuple[str, ...]) -> list[SqlNode]:
+        body: list[SqlNode] = []
+        while True:
+            self.skip_semicolons()
+            token = self.current
+            if token.kind is TokenKind.EOF:
+                return body
+            if terminators and token.is_keyword(*terminators):
+                return body
+            body.append(self.parse_statement())
+
+    def parse_statement(self) -> SqlNode:
+        token = self.current
+        if token.is_keyword("SELECT"):
+            return self.parse_select()
+        if token.is_keyword("UPDATE"):
+            return self.parse_update()
+        if token.is_keyword("INSERT"):
+            return self.parse_insert()
+        if token.is_keyword("DELETE"):
+            return self.parse_delete()
+        if token.is_keyword("IF"):
+            return self.parse_if()
+        if token.is_keyword("REPEAT"):
+            return self.parse_repeat()
+        if token.is_keyword("COMMIT"):
+            self.advance()
+            return CommitStmt()
+        if token.kind is TokenKind.PARAM:
+            return self.parse_assignment()
+        raise self.error("expected a statement")
+
+    # -- statements -----------------------------------------------------------
+    def parse_select(self) -> SelectStmt:
+        self.expect_keyword("SELECT")
+        select_list = [self.parse_expr()]
+        while self.accept_op(","):
+            select_list.append(self.parse_expr())
+        into: tuple[str, ...] = ()
+        if self.accept_keyword("INTO"):
+            into = self.parse_param_list()
+        self.expect_keyword("FROM")
+        relations = [self.parse_relation_ref()]
+        while self.accept_op(","):
+            relations.append(self.parse_relation_ref())
+        self.expect_keyword("WHERE")
+        where = self.parse_condition()
+        return SelectStmt(
+            relations[0], tuple(select_list), where, into,
+            extra_relations=tuple(relations[1:]),
+        )
+
+    def parse_relation_ref(self) -> str:
+        """A relation name with an optional (ignored) alias."""
+        relation = self.expect_ident().value
+        if self.current.kind is TokenKind.IDENT:
+            self.advance()  # alias — column qualifiers are stripped anyway
+        return relation
+
+    def parse_update(self) -> UpdateStmt:
+        self.expect_keyword("UPDATE")
+        relation = self.expect_ident().value
+        self.expect_keyword("SET")
+        assignments = [self.parse_set_assignment()]
+        while self.accept_op(","):
+            assignments.append(self.parse_set_assignment())
+        self.expect_keyword("WHERE")
+        where = self.parse_condition()
+        returning: tuple[Expr, ...] = ()
+        returning_into: tuple[str, ...] = ()
+        if self.accept_keyword("RETURNING"):
+            items = [self.parse_expr()]
+            while self.accept_op(","):
+                items.append(self.parse_expr())
+            returning = tuple(items)
+            if self.accept_keyword("INTO"):
+                returning_into = self.parse_param_list()
+        return UpdateStmt(relation, tuple(assignments), where, returning, returning_into)
+
+    def parse_set_assignment(self) -> tuple[str, Expr]:
+        attr = self.expect_ident().value
+        self.expect_op("=")
+        return (attr, self.parse_expr())
+
+    def parse_insert(self) -> InsertStmt:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        relation = self.expect_ident().value
+        columns: tuple[str, ...] = ()
+        if self.current.is_op("("):
+            self.advance()
+            names = [self.expect_ident().value]
+            while self.accept_op(","):
+                names.append(self.expect_ident().value)
+            self.expect_op(")")
+            columns = tuple(names)
+        self.expect_keyword("VALUES")
+        self.expect_op("(")
+        values = [self.parse_expr()]
+        while self.accept_op(","):
+            values.append(self.parse_expr())
+        self.expect_op(")")
+        return InsertStmt(relation, columns, tuple(values))
+
+    def parse_delete(self) -> DeleteStmt:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        relation = self.expect_ident().value
+        self.expect_keyword("WHERE")
+        where = self.parse_condition()
+        return DeleteStmt(relation, where)
+
+    def parse_if(self) -> IfStmt:
+        self.expect_keyword("IF")
+        condition_text = self.consume_raw_until("THEN")
+        then_body = self.parse_statements(terminators=("ELSE", "END"))
+        else_body: list[SqlNode] = []
+        if self.accept_keyword("ELSE"):
+            else_body = self.parse_statements(terminators=("END",))
+        self.expect_keyword("END")
+        self.expect_keyword("IF")
+        return IfStmt(condition_text, tuple(then_body), tuple(else_body))
+
+    def parse_repeat(self) -> RepeatStmt:
+        self.expect_keyword("REPEAT")
+        body = self.parse_statements(terminators=("END",))
+        self.expect_keyword("END")
+        self.expect_keyword("REPEAT")
+        return RepeatStmt(tuple(body))
+
+    def parse_assignment(self) -> AssignStmt:
+        text = self.consume_raw_until(";")
+        return AssignStmt(text)
+
+    def consume_raw_until(self, terminator: str) -> str:
+        """Consume raw tokens (host-language condition or assignment) verbatim."""
+        parts: list[str] = []
+        while True:
+            token = self.current
+            if token.kind is TokenKind.EOF:
+                raise self.error(f"expected {terminator!r}")
+            if terminator == "THEN" and token.is_keyword("THEN"):
+                self.advance()
+                break
+            if terminator == ";" and token.is_op(";"):
+                self.advance()
+                break
+            parts.append(token.value if token.kind is not TokenKind.PARAM else f":{token.value}")
+            self.advance()
+        return " ".join(parts)
+
+    def parse_param_list(self) -> tuple[str, ...]:
+        names = [self.expect_param()]
+        while self.accept_op(","):
+            names.append(self.expect_param())
+        return tuple(names)
+
+    def expect_param(self) -> str:
+        if self.current.kind is not TokenKind.PARAM:
+            raise self.error("expected a :parameter")
+        return self.advance().value
+
+    # -- conditions --------------------------------------------------------------
+    def parse_condition(self) -> Condition:
+        return self.parse_or()
+
+    def parse_or(self) -> Condition:
+        items = [self.parse_and()]
+        while self.accept_keyword("OR"):
+            items.append(self.parse_and())
+        return items[0] if len(items) == 1 else Or(tuple(items))
+
+    def parse_and(self) -> Condition:
+        items = [self.parse_atom()]
+        while self.accept_keyword("AND"):
+            items.append(self.parse_atom())
+        return items[0] if len(items) == 1 else And(tuple(items))
+
+    def parse_atom(self) -> Condition:
+        if self.accept_keyword("NOT"):
+            return Not(self.parse_atom())
+        if self.current.is_op("("):
+            # Could be a parenthesised condition or expression; try condition.
+            checkpoint = self.index
+            self.advance()
+            try:
+                inner = self.parse_condition()
+                self.expect_op(")")
+                return inner
+            except SqlError:
+                self.index = checkpoint
+        left = self.parse_expr()
+        for op in _COMPARISON_OPS:
+            if self.current.is_op(op):
+                self.advance()
+                return Comparison(op, left, self.parse_expr())
+        raise self.error("expected a comparison operator")
+
+    # -- expressions ---------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while self.current.is_op("+", "-"):
+            op = self.advance().value
+            left = BinOp(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_factor()
+        while self.current.is_op("*", "/"):
+            op = self.advance().value
+            left = BinOp(op, left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> Expr:
+        token = self.current
+        if token.kind is TokenKind.PARAM:
+            self.advance()
+            return ParamRef(token.value)
+        if token.kind is TokenKind.NUMBER or token.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            name = token.value
+            if self.accept_op("."):
+                # ``alias.column`` — keep only the column name.
+                name = self.expect_ident().value
+            return AttrRef(name)
+        if token.is_op("("):
+            self.advance()
+            inner = self.parse_expr()
+            self.expect_op(")")
+            return inner
+        raise self.error("expected an expression")
+
+
+def parse_sql(text: str) -> SqlProgram:
+    """Parse a transaction program in the Appendix A SQL fragment."""
+    return _Parser(text).parse_program()

@@ -1,0 +1,104 @@
+"""Algorithm 1: constructing the summary graph ``SuG(𝒫)``.
+
+For every ordered pair of programs and every pair of their statements over a
+common relation, the condition tables of Table 1 (plus ``ncDepConds`` /
+``cDepConds`` for ⊥ entries) decide whether a non-counterflow and/or a
+counterflow edge is added.  Statements are compared at the granularity
+chosen in the :class:`~repro.summary.settings.AnalysisSettings` — the
+tuple-granularity settings widen every defined attribute set to the full
+attribute set of the relation first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.btp.ltp import LTP
+from repro.btp.program import BTP
+from repro.btp.statement import Statement
+from repro.btp.unfold import unfold
+from repro.errors import ProgramError
+from repro.schema import Schema
+from repro.summary.conditions import c_dep_conds, nc_dep_conds
+from repro.summary.graph import SummaryEdge, SummaryGraph
+from repro.summary.settings import AnalysisSettings, Granularity
+from repro.summary.tables import C_DEP_TABLE, NC_DEP_TABLE
+
+
+def _effective_statements(
+    program: LTP, schema: Schema, granularity: Granularity
+) -> dict[str, Statement]:
+    """The program's distinct statements, widened under tuple granularity."""
+    statements = program.statements_by_name
+    if granularity is Granularity.ATTRIBUTE:
+        return dict(statements)
+    return {
+        name: stmt.widened(schema.attributes(stmt.relation))
+        for name, stmt in statements.items()
+    }
+
+
+def construct_summary_graph(
+    programs: Sequence[LTP],
+    schema: Schema,
+    settings: AnalysisSettings = AnalysisSettings(),
+) -> SummaryGraph:
+    """``constructSuG(𝒫)`` of Algorithm 1 over already-unfolded LTPs."""
+    names = [program.name for program in programs]
+    if len(set(names)) != len(names):
+        raise ProgramError(f"duplicate LTP names: {names!r}")
+
+    effective = {
+        program.name: _effective_statements(program, schema, settings.granularity)
+        for program in programs
+    }
+    edges: list[SummaryEdge] = []
+    for program_i in programs:
+        statements_i = effective[program_i.name]
+        for program_j in programs:
+            statements_j = effective[program_j.name]
+            for occ_i in program_i:
+                qi = statements_i[occ_i.name]
+                for occ_j in program_j:
+                    qj = statements_j[occ_j.name]
+                    if qi.relation != qj.relation:
+                        continue
+                    type_pair = (qi.stype, qj.stype)
+                    nc_entry = NC_DEP_TABLE[type_pair]
+                    if nc_entry is True or (nc_entry is None and nc_dep_conds(qi, qj)):
+                        edges.append(
+                            SummaryEdge(
+                                program_i.name, occ_i.name, occ_i.position,
+                                False,
+                                occ_j.name, occ_j.position, program_j.name,
+                            )
+                        )
+                    c_entry = C_DEP_TABLE[type_pair]
+                    if c_entry is True or (
+                        c_entry is None
+                        and c_dep_conds(
+                            qi, qj, program_i, program_j,
+                            settings.use_foreign_keys,
+                            source_pos=occ_i.position,
+                            target_pos=occ_j.position,
+                        )
+                    ):
+                        edges.append(
+                            SummaryEdge(
+                                program_i.name, occ_i.name, occ_i.position,
+                                True,
+                                occ_j.name, occ_j.position, program_j.name,
+                            )
+                        )
+    return SummaryGraph(programs, edges)
+
+
+def build_summary_graph(
+    programs: Iterable[BTP],
+    schema: Schema,
+    settings: AnalysisSettings = AnalysisSettings(),
+    max_loop_iterations: int = 2,
+) -> SummaryGraph:
+    """Unfold a set of BTPs (``Unfold≤2`` by default) and run Algorithm 1."""
+    ltps = unfold(programs, max_loop_iterations)
+    return construct_summary_graph(ltps, schema, settings)

@@ -1,0 +1,175 @@
+"""The summary graph data structure (Section 6.2).
+
+Edges are the quintuples ``(P_i, q_i, c, q_j, P_j)`` of the paper, where
+``q_i``/``q_j`` are statement *occurrences* of the unfolded LTPs: unfolding
+a loop twice duplicates its statements, and each copy contributes its own
+edges (this is the convention under which the Table 2 edge counts hold, and
+it makes the program-order test of Algorithm 2 exact).  The class also
+exposes program-level projections (used for the reachability tests) and
+the node/edge statistics reported in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, Iterator
+
+import networkx as nx
+
+from repro.btp.ltp import LTP
+from repro.btp.statement import Statement
+from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class SummaryEdge:
+    """An edge ``(P_i, q_i, c, q_j, P_j)`` of the summary graph.
+
+    ``source``/``target`` are LTP names; ``source_stmt``/``target_stmt``
+    are statement names with ``source_pos``/``target_pos`` locating the
+    occurrence inside the LTP; ``counterflow`` distinguishes the two edge
+    colours of Section 6.2 (dashed edges in the paper's figures).
+    """
+
+    source: str
+    source_stmt: str
+    source_pos: int
+    counterflow: bool
+    target_stmt: str
+    target_pos: int
+    target: str
+
+    @property
+    def kind(self) -> str:
+        """``'counterflow'`` or ``'non-counterflow'``."""
+        return "counterflow" if self.counterflow else "non-counterflow"
+
+    def __str__(self) -> str:
+        arrow = "-->" if self.counterflow else "->"
+        return (
+            f"{self.source}.{self.source_stmt}@{self.source_pos} {arrow} "
+            f"{self.target}.{self.target_stmt}@{self.target_pos}"
+        )
+
+
+class SummaryGraph:
+    """``SuG(𝒫)``: LTP nodes plus labelled (non-)counterflow edges."""
+
+    def __init__(self, programs: Iterable[LTP], edges: Iterable[SummaryEdge]):
+        self._programs: dict[str, LTP] = {}
+        for program in programs:
+            if program.name in self._programs:
+                raise ProgramError(f"duplicate program name {program.name!r} in summary graph")
+            self._programs[program.name] = program
+        self._edges: tuple[SummaryEdge, ...] = tuple(edges)
+        for edge in self._edges:
+            if edge.source not in self._programs or edge.target not in self._programs:
+                raise ProgramError(f"edge {edge} references unknown program")
+
+    # -- nodes -------------------------------------------------------------
+    @property
+    def programs(self) -> tuple[LTP, ...]:
+        """All programs (nodes), in insertion order."""
+        return tuple(self._programs.values())
+
+    @property
+    def program_names(self) -> tuple[str, ...]:
+        return tuple(self._programs)
+
+    def program(self, name: str) -> LTP:
+        """Look up a program by name."""
+        try:
+            return self._programs[name]
+        except KeyError:
+            raise ProgramError(f"unknown program {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._programs
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    # -- edges -------------------------------------------------------------
+    @property
+    def edges(self) -> tuple[SummaryEdge, ...]:
+        """All edges, in construction order."""
+        return self._edges
+
+    def __iter__(self) -> Iterator[SummaryEdge]:
+        return iter(self._edges)
+
+    @cached_property
+    def counterflow_edges(self) -> tuple[SummaryEdge, ...]:
+        return tuple(edge for edge in self._edges if edge.counterflow)
+
+    @cached_property
+    def non_counterflow_edges(self) -> tuple[SummaryEdge, ...]:
+        return tuple(edge for edge in self._edges if not edge.counterflow)
+
+    @cached_property
+    def counterflow_by_source(self) -> dict[str, tuple[SummaryEdge, ...]]:
+        """Counterflow edges grouped by source program (used by Algorithm 2)."""
+        grouped: dict[str, list[SummaryEdge]] = {name: [] for name in self._programs}
+        for edge in self.counterflow_edges:
+            grouped[edge.source].append(edge)
+        return {name: tuple(edges) for name, edges in grouped.items()}
+
+    def edges_between(self, source: str, target: str) -> tuple[SummaryEdge, ...]:
+        """All edges from one program to another."""
+        return tuple(
+            edge for edge in self._edges if edge.source == source and edge.target == target
+        )
+
+    def source_statement(self, edge: SummaryEdge) -> Statement:
+        """The statement object at an edge's source occurrence."""
+        return self.program(edge.source).statement_at(edge.source_pos)
+
+    def target_statement(self, edge: SummaryEdge) -> Statement:
+        """The statement object at an edge's target occurrence."""
+        return self.program(edge.target).statement_at(edge.target_pos)
+
+    # -- projections and statistics ----------------------------------------
+    @cached_property
+    def program_graph(self) -> "nx.DiGraph":
+        """The program-level projection (one node per LTP, unlabelled edges)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._programs)
+        graph.add_edges_from({(edge.source, edge.target) for edge in self._edges})
+        return graph
+
+    def to_networkx(self) -> "nx.MultiDiGraph":
+        """A full multigraph view with edge attributes (for external tooling)."""
+        graph = nx.MultiDiGraph()
+        graph.add_nodes_from(self._programs)
+        for edge in self._edges:
+            graph.add_edge(
+                edge.source,
+                edge.target,
+                source_stmt=edge.source_stmt,
+                source_pos=edge.source_pos,
+                target_stmt=edge.target_stmt,
+                target_pos=edge.target_pos,
+                counterflow=edge.counterflow,
+            )
+        return graph
+
+    @property
+    def edge_count(self) -> int:
+        """Total number of quintuple edges (the Table 2 'edges' column)."""
+        return len(self._edges)
+
+    @property
+    def counterflow_count(self) -> int:
+        """Number of counterflow edges (the parenthesised Table 2 count)."""
+        return len(self.counterflow_edges)
+
+    def describe(self) -> str:
+        """A short multi-line summary (nodes, edge counts)."""
+        return (
+            f"summary graph: {len(self)} programs, {self.edge_count} edges "
+            f"({self.counterflow_count} counterflow)"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,63 @@
+"""Analysis settings: conflict granularity and foreign-key usage.
+
+Section 7.2 evaluates four settings.  Dependencies can be tracked at the
+granularity of individual *attributes* (the paper's default, detecting more
+workloads as robust) or of whole *tuples* (any two operations on the same
+tuple conflict if one writes); foreign-key annotations can be used to rule
+out impossible counterflow dependencies, or ignored.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Granularity(enum.Enum):
+    """Conflict granularity for dependency detection."""
+
+    ATTRIBUTE = "attr"
+    TUPLE = "tpl"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AnalysisSettings:
+    """One of the four evaluation settings of Section 7.2."""
+
+    granularity: Granularity = Granularity.ATTRIBUTE
+    use_foreign_keys: bool = True
+
+    @property
+    def label(self) -> str:
+        """The row label used in Figures 6 and 7 (e.g. ``'attr dep + FK'``)."""
+        base = f"{self.granularity.value} dep"
+        return f"{base} + FK" if self.use_foreign_keys else base
+
+    @classmethod
+    def from_label(cls, label: str) -> "AnalysisSettings":
+        """Parse a Figure 6/7 row label back into settings."""
+        for settings in ALL_SETTINGS:
+            if settings.label == label:
+                return settings
+        raise ValueError(f"unknown settings label {label!r}; expected one of "
+                         f"{[s.label for s in ALL_SETTINGS]}")
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: Tuple-granularity dependencies, foreign keys ignored.
+TPL_DEP = AnalysisSettings(Granularity.TUPLE, use_foreign_keys=False)
+#: Attribute-granularity dependencies, foreign keys ignored.
+ATTR_DEP = AnalysisSettings(Granularity.ATTRIBUTE, use_foreign_keys=False)
+#: Tuple-granularity dependencies with foreign-key annotations.
+TPL_DEP_FK = AnalysisSettings(Granularity.TUPLE, use_foreign_keys=True)
+#: Attribute-granularity dependencies with foreign-key annotations (the
+#: paper's full approach, used for Table 2).
+ATTR_DEP_FK = AnalysisSettings(Granularity.ATTRIBUTE, use_foreign_keys=True)
+
+#: The four settings in the row order of Figures 6 and 7.
+ALL_SETTINGS = (TPL_DEP, ATTR_DEP, TPL_DEP_FK, ATTR_DEP_FK)

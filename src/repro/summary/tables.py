@@ -1,0 +1,77 @@
+"""The condition tables of Table 1, transcribed verbatim.
+
+Entry semantics (Algorithm 1): ``True`` — the dependency is always possible
+for these statement types and an edge is added unconditionally; ``False`` —
+the dependency is impossible; ``None`` (the paper's ⊥) — possibility depends
+on the attribute sets (and, for counterflow, foreign keys), so
+``ncDepConds`` / ``cDepConds`` decides.
+
+Row = type of the *source* statement ``q_i`` (the dependency's origin
+``b_i``); column = type of the *target* statement ``q_j`` (the depending
+operation ``a_j``).
+"""
+
+from __future__ import annotations
+
+from repro.btp.statement import StatementType
+
+_INS = StatementType.INSERT
+_KSEL = StatementType.KEY_SELECT
+_PSEL = StatementType.PRED_SELECT
+_KUPD = StatementType.KEY_UPDATE
+_PUPD = StatementType.PRED_UPDATE
+_KDEL = StatementType.KEY_DELETE
+_PDEL = StatementType.PRED_DELETE
+
+#: Column order of Table 1 (also used for row order).
+TYPE_ORDER: tuple[StatementType, ...] = (_INS, _KSEL, _PSEL, _KUPD, _PUPD, _KDEL, _PDEL)
+
+TableEntry = bool | None
+
+
+def _table(rows: dict[StatementType, tuple[TableEntry, ...]]) -> dict[
+    tuple[StatementType, StatementType], TableEntry
+]:
+    result: dict[tuple[StatementType, StatementType], TableEntry] = {}
+    for row_type, entries in rows.items():
+        if len(entries) != len(TYPE_ORDER):
+            raise ValueError(f"row {row_type} must have {len(TYPE_ORDER)} entries")
+        for col_type, entry in zip(TYPE_ORDER, entries):
+            result[(row_type, col_type)] = entry
+    return result
+
+
+#: Table (1a): when can statements ``q_i``, ``q_j`` admit a
+#: *non-counterflow* dependency?
+NC_DEP_TABLE = _table(
+    {
+        #         ins    key sel  pred sel  key upd  pred upd  key del  pred del
+        _INS: (False, None, True, None, True, None, True),
+        _KSEL: (False, False, False, None, None, None, None),
+        _PSEL: (True, False, False, None, None, True, True),
+        _KUPD: (False, None, None, None, None, None, None),
+        _PUPD: (True, None, None, None, None, True, True),
+        _KDEL: (False, False, True, False, True, False, True),
+        _PDEL: (True, False, True, None, True, True, True),
+    }
+)
+
+#: Table (1b): when can statements ``q_i``, ``q_j`` admit a *counterflow*
+#: dependency?  Only (predicate) rw-antidependencies can be counterflow
+#: (Lemma 4.1), which is why rows for write-only statements are all False
+#: and the update rows are False as well: the write in the same atomic
+#: chunk would create a dirty write for key-based updates, while for
+#: predicate-based updates only the predicate read itself (the ``True`` /
+#: ``None`` columns) can be counterflow.
+C_DEP_TABLE = _table(
+    {
+        #         ins    key sel  pred sel  key upd  pred upd  key del  pred del
+        _INS: (False, False, False, False, False, False, False),
+        _KSEL: (False, False, False, None, None, None, None),
+        _PSEL: (True, False, False, None, None, True, True),
+        _KUPD: (False, False, False, False, False, False, False),
+        _PUPD: (True, False, False, None, None, True, True),
+        _KDEL: (False, False, False, False, False, False, False),
+        _PDEL: (True, False, False, None, None, True, True),
+    }
+)

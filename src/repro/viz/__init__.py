@@ -1,0 +1,12 @@
+"""Visualization of summary graphs (the paper's Figures 4, 11, 18, 19).
+
+:func:`to_dot` emits Graphviz DOT text — counterflow edges dashed, edge
+labels carrying the statement pairs, exactly like the paper's figures.
+:func:`to_text` renders an adjacency listing for terminals without
+Graphviz.
+"""
+
+from repro.viz.dot import to_dot
+from repro.viz.textual import to_text
+
+__all__ = ["to_dot", "to_text"]

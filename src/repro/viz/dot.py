@@ -1,0 +1,51 @@
+"""Graphviz DOT rendering of summary graphs.
+
+The conventions match the paper's figures: one node per (unfolded) program,
+solid edges for non-counterflow dependencies, dashed edges for counterflow
+dependencies, and edge labels of the form ``q1→q3`` naming the statement
+pair that admits the dependency.  Parallel edges between the same programs
+are merged into one arrow whose label stacks the statement pairs.
+"""
+
+from __future__ import annotations
+
+from repro.summary.graph import SummaryGraph
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def to_dot(
+    graph: SummaryGraph,
+    name: str = "SuG",
+    include_labels: bool = True,
+    max_label_pairs: int = 6,
+) -> str:
+    """Render the summary graph as Graphviz DOT text."""
+    lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;", "  node [shape=box];"]
+    for program in graph.programs:
+        label = program.name
+        if program.is_empty:
+            label += " (ε)"
+        lines.append(f"  {_quote(program.name)} [label={_quote(label)}];")
+    grouped: dict[tuple[str, str, bool], list[str]] = {}
+    for edge in graph.edges:
+        key = (edge.source, edge.target, edge.counterflow)
+        grouped.setdefault(key, []).append(f"{edge.source_stmt}→{edge.target_stmt}")
+    for (source, target, counterflow), labels in grouped.items():
+        attrs = []
+        if counterflow:
+            attrs.append("style=dashed")
+        if include_labels:
+            unique = list(dict.fromkeys(labels))
+            if len(unique) > max_label_pairs:
+                shown = unique[:max_label_pairs] + [f"… +{len(unique) - max_label_pairs}"]
+            else:
+                shown = unique
+            attrs.append(f"label={_quote(chr(10).join(shown))}")
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {_quote(source)} -> {_quote(target)}{attr_text};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""Plain-text rendering of summary graphs (adjacency listing)."""
+
+from __future__ import annotations
+
+from repro.summary.graph import SummaryGraph
+
+
+def to_text(graph: SummaryGraph, show_statements: bool = True) -> str:
+    """Render the summary graph as an indented adjacency listing.
+
+    Counterflow edges are marked with ``-->`` (the paper draws them
+    dashed), non-counterflow edges with ``->``.
+    """
+    lines = [graph.describe()]
+    for program in graph.programs:
+        outgoing = [edge for edge in graph.edges if edge.source == program.name]
+        body = "; ".join(occ.name for occ in program.occurrences) or "ε"
+        lines.append(f"{program.name}  [{body}]")
+        grouped: dict[tuple[str, bool], list[str]] = {}
+        for edge in outgoing:
+            key = (edge.target, edge.counterflow)
+            grouped.setdefault(key, []).append(f"{edge.source_stmt}→{edge.target_stmt}")
+        for (target, counterflow), labels in sorted(grouped.items()):
+            arrow = "-->" if counterflow else "->"
+            if show_statements:
+                unique = ", ".join(dict.fromkeys(labels))
+                lines.append(f"  {arrow} {target}  ({unique})")
+            else:
+                lines.append(f"  {arrow} {target}")
+    return "\n".join(lines)

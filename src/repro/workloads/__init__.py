@@ -1,0 +1,26 @@
+"""The paper's benchmarks: SmallBank, TPC-C, Auction and Auction(n).
+
+Every workload bundles a schema, a set of BTPs (hand-transcribed from the
+paper's Figures 2, 10 and 17), the foreign-key annotations, the program
+abbreviations used in Figures 6/7, and SQL source text in the Appendix A
+fragment that the SQL front-end translates back into the same BTPs
+(an integration test keeps the two in sync).
+"""
+
+from repro.workloads.auction import auction, auction_n
+from repro.workloads.base import Workload
+from repro.workloads.loader import load_workload
+from repro.workloads.registry import WORKLOADS, get_workload
+from repro.workloads.smallbank import smallbank
+from repro.workloads.tpcc import tpcc
+
+__all__ = [
+    "Workload",
+    "auction",
+    "auction_n",
+    "smallbank",
+    "tpcc",
+    "WORKLOADS",
+    "get_workload",
+    "load_workload",
+]

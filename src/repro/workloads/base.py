@@ -1,0 +1,88 @@
+"""The :class:`Workload` container tying schema, programs and SQL together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.btp.program import BTP
+from repro.btp.unfold import unfold
+from repro.detection.api import RobustnessReport, analyze
+from repro.errors import ProgramError
+from repro.schema import Schema
+from repro.summary.construct import construct_summary_graph
+from repro.summary.graph import SummaryGraph
+from repro.summary.settings import AnalysisSettings
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A benchmark: a schema plus a set of transaction programs.
+
+    ``abbreviations`` maps program names to the short labels of the paper's
+    Figures 6/7 (e.g. ``"Balance" -> "Bal"``); ``sql`` holds each program's
+    source text in the Appendix A SQL fragment, when available.
+    """
+
+    name: str
+    schema: Schema
+    programs: tuple[BTP, ...]
+    abbreviations: Mapping[str, str] = field(default_factory=dict)
+    sql: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [program.name for program in self.programs]
+        if len(set(names)) != len(names):
+            raise ProgramError(f"workload {self.name!r}: duplicate program names {names!r}")
+        for program in self.programs:
+            program.validate_against(self.schema)
+
+    @property
+    def program_names(self) -> tuple[str, ...]:
+        return tuple(program.name for program in self.programs)
+
+    def program(self, name: str) -> BTP:
+        """Look up a program by name."""
+        for program in self.programs:
+            if program.name == name:
+                return program
+        raise ProgramError(f"workload {self.name!r}: unknown program {name!r}")
+
+    def subset(self, names: Sequence[str]) -> "Workload":
+        """The sub-workload restricted to the given program names."""
+        return Workload(
+            name=f"{self.name}[{','.join(sorted(names))}]",
+            schema=self.schema,
+            programs=tuple(self.program(name) for name in names),
+            abbreviations=self.abbreviations,
+            sql={name: text for name, text in self.sql.items() if name in set(names)},
+        )
+
+    def unfolded(self, max_loop_iterations: int = 2):
+        """``Unfold≤k`` of all programs."""
+        return unfold(self.programs, max_loop_iterations)
+
+    def summary_graph(
+        self,
+        settings: AnalysisSettings = AnalysisSettings(),
+        max_loop_iterations: int = 2,
+    ) -> SummaryGraph:
+        """Algorithm 1 over the unfolded programs."""
+        return construct_summary_graph(
+            self.unfolded(max_loop_iterations), self.schema, settings
+        )
+
+    def analyze(
+        self,
+        settings: AnalysisSettings = AnalysisSettings(),
+        max_loop_iterations: int = 2,
+    ) -> RobustnessReport:
+        """Full robustness analysis (both detection methods)."""
+        return analyze(self.programs, self.schema, settings, max_loop_iterations)
+
+    def abbreviate(self, program_name: str) -> str:
+        """The Figure 6/7 short label for a program (name itself if none)."""
+        return dict(self.abbreviations).get(program_name, program_name)
+
+    def __str__(self) -> str:
+        return f"workload {self.name}: {len(self.programs)} programs"

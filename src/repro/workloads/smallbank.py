@@ -1,0 +1,152 @@
+"""The SmallBank benchmark (Appendix E.1).
+
+Three relations — Account(Name, CustomerId), Savings(CustomerId, Balance),
+Checking(CustomerId, Balance) — and five linear programs: Amalgamate,
+Balance, DepositChecking, TransactSavings, WriteCheck.  Statement details
+are Figure 10 verbatim (statements q1…q16, numbered across programs).
+Account(CustomerId) references both Savings(CustomerId) and
+Checking(CustomerId); the corresponding annotations never block counterflow
+edges (the referenced statements are not writes preceding the reads), which
+is why all four analysis settings coincide on SmallBank (Figures 6/7).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.btp.program import BTP, FKConstraint, seq
+from repro.btp.statement import Statement
+from repro.schema import ForeignKey, Relation, Schema
+from repro.workloads.base import Workload
+
+AMALGAMATE_SQL = """
+SELECT CustomerId INTO :x1 FROM Account WHERE Name = :N1;
+SELECT CustomerId INTO :x2 FROM Account WHERE Name = :N2;
+UPDATE Savings SET Balance = 0 WHERE CustomerId = :x1 RETURNING Balance INTO :a;
+UPDATE Checking SET Balance = 0 WHERE CustomerId = :x1 RETURNING Balance INTO :b;
+UPDATE Checking SET Balance = Balance + :a + :b WHERE CustomerId = :x2;
+COMMIT;
+"""
+
+BALANCE_SQL = """
+SELECT CustomerId INTO :x FROM Account WHERE Name = :N;
+SELECT Balance INTO :a FROM Savings WHERE CustomerId = :x;
+SELECT Balance + :a FROM Checking WHERE CustomerId = :x;
+COMMIT;
+"""
+
+DEPOSIT_CHECKING_SQL = """
+SELECT CustomerId INTO :x FROM Account WHERE Name = :N;
+UPDATE Checking SET Balance = Balance + :V WHERE CustomerId = :x;
+COMMIT;
+"""
+
+TRANSACT_SAVINGS_SQL = """
+SELECT CustomerId INTO :x FROM Account WHERE Name = :N;
+UPDATE Savings SET Balance = Balance + :V WHERE CustomerId = :x;
+COMMIT;
+"""
+
+WRITE_CHECK_SQL = """
+SELECT CustomerId INTO :x FROM Account WHERE Name = :N;
+SELECT Balance INTO :a FROM Savings WHERE CustomerId = :x;
+SELECT Balance INTO :b FROM Checking WHERE CustomerId = :x;
+IF :a + :b < :V THEN
+    :V = :V + 1;
+END IF;
+UPDATE Checking SET Balance = Balance - :V WHERE CustomerId = :x;
+COMMIT;
+"""
+
+
+@lru_cache(maxsize=None)
+def smallbank() -> Workload:
+    """The five-program SmallBank workload of Figure 10."""
+    account = Relation("Account", ["Name", "CustomerId"], key=["Name"])
+    savings = Relation("Savings", ["CustomerId", "Balance"], key=["CustomerId"])
+    checking = Relation("Checking", ["CustomerId", "Balance"], key=["CustomerId"])
+    schema = Schema(
+        [account, savings, checking],
+        [
+            ForeignKey("fS", "Account", "Savings", {"CustomerId": "CustomerId"}),
+            ForeignKey("fC", "Account", "Checking", {"CustomerId": "CustomerId"}),
+        ],
+    )
+
+    amalgamate = BTP(
+        "Amalgamate",
+        seq(
+            Statement.key_select("q1", account, reads=["CustomerId"]),
+            Statement.key_select("q2", account, reads=["CustomerId"]),
+            Statement.key_update("q3", savings, reads=["Balance"], writes=["Balance"]),
+            Statement.key_update("q4", checking, reads=["Balance"], writes=["Balance"]),
+            Statement.key_update("q5", checking, reads=["Balance"], writes=["Balance"]),
+        ),
+        constraints=[
+            FKConstraint("fS", source="q1", target="q3"),
+            FKConstraint("fC", source="q1", target="q4"),
+            FKConstraint("fC", source="q2", target="q5"),
+        ],
+    )
+    balance = BTP(
+        "Balance",
+        seq(
+            Statement.key_select("q6", account, reads=["CustomerId"]),
+            Statement.key_select("q7", savings, reads=["Balance"]),
+            Statement.key_select("q8", checking, reads=["Balance"]),
+        ),
+        constraints=[
+            FKConstraint("fS", source="q6", target="q7"),
+            FKConstraint("fC", source="q6", target="q8"),
+        ],
+    )
+    deposit_checking = BTP(
+        "DepositChecking",
+        seq(
+            Statement.key_select("q9", account, reads=["CustomerId"]),
+            Statement.key_update("q10", checking, reads=["Balance"], writes=["Balance"]),
+        ),
+        constraints=[FKConstraint("fC", source="q9", target="q10")],
+    )
+    transact_savings = BTP(
+        "TransactSavings",
+        seq(
+            Statement.key_select("q11", account, reads=["CustomerId"]),
+            Statement.key_update("q12", savings, reads=["Balance"], writes=["Balance"]),
+        ),
+        constraints=[FKConstraint("fS", source="q11", target="q12")],
+    )
+    write_check = BTP(
+        "WriteCheck",
+        seq(
+            Statement.key_select("q13", account, reads=["CustomerId"]),
+            Statement.key_select("q14", savings, reads=["Balance"]),
+            Statement.key_select("q15", checking, reads=["Balance"]),
+            Statement.key_update("q16", checking, reads=["Balance"], writes=["Balance"]),
+        ),
+        constraints=[
+            FKConstraint("fS", source="q13", target="q14"),
+            FKConstraint("fC", source="q13", target="q15"),
+            FKConstraint("fC", source="q13", target="q16"),
+        ],
+    )
+
+    return Workload(
+        name="SmallBank",
+        schema=schema,
+        programs=(amalgamate, balance, deposit_checking, transact_savings, write_check),
+        abbreviations={
+            "Amalgamate": "Am",
+            "Balance": "Bal",
+            "DepositChecking": "DC",
+            "TransactSavings": "TS",
+            "WriteCheck": "WC",
+        },
+        sql={
+            "Amalgamate": AMALGAMATE_SQL,
+            "Balance": BALANCE_SQL,
+            "DepositChecking": DEPOSIT_CHECKING_SQL,
+            "TransactSavings": TRANSACT_SAVINGS_SQL,
+            "WriteCheck": WRITE_CHECK_SQL,
+        },
+    )

@@ -1,0 +1,226 @@
+"""Tests for Section 3.4 dependencies and Section 4 cycle classification."""
+
+import pytest
+
+from repro.mvsched.dependencies import Dependency, DependencyKind, dependencies
+from repro.mvsched.operations import Operation
+from repro.mvsched.schedule import Schedule
+from repro.mvsched.serialization import (
+    classify_cycle,
+    cycle_is_type1,
+    cycle_is_type2,
+    is_conflict_serializable,
+    serialization_graph,
+)
+from repro.mvsched.transaction import Transaction
+from repro.mvsched.tuples import TupleId, Version
+
+T = TupleId("R", 0)
+UNBORN = Version.unborn(T)
+V0 = Version.visible(T, 0)
+V1 = Version.visible(T, 1)
+DEAD = Version.dead(T)
+
+
+def schedule_of(transactions, order, write_version, read_version, vset=None,
+                version_order=(UNBORN, V0, V1, DEAD), init=V0):
+    return Schedule(
+        transactions=tuple(transactions),
+        order=tuple(order),
+        init_version={T: init},
+        write_version=write_version,
+        read_version=read_version,
+        vset=vset or {},
+        version_order={T: tuple(version_order)},
+        universe={"R": (T,)},
+    )
+
+
+def kinds(schedule):
+    return {(d.kind, d.source.tx, d.target.tx) for d in dependencies(schedule)}
+
+
+class TestDependencyKinds:
+    def test_ww_dependency(self):
+        t1 = Transaction(1, [Operation.write(1, 0, T, {"v"}), Operation.commit(1, 1)])
+        t2 = Transaction(2, [Operation.write(2, 0, T, {"v"}), Operation.commit(2, 1)])
+        w1, c1 = t1.operations
+        w2, c2 = t2.operations
+        s = schedule_of(
+            [t1, t2], [w1, c1, w2, c2],
+            {w1: V1, w2: Version.visible(T, 2)}, {},
+            version_order=(UNBORN, V0, V1, Version.visible(T, 2), DEAD),
+        )
+        assert (DependencyKind.WW, 1, 2) in kinds(s)
+
+    def test_ww_requires_attribute_overlap(self):
+        t1 = Transaction(1, [Operation.write(1, 0, T, {"v"}), Operation.commit(1, 1)])
+        t2 = Transaction(2, [Operation.write(2, 0, T, {"w"}), Operation.commit(2, 1)])
+        w1, c1 = t1.operations
+        w2, c2 = t2.operations
+        s = schedule_of(
+            [t1, t2], [w1, c1, w2, c2],
+            {w1: V1, w2: Version.visible(T, 2)}, {},
+            version_order=(UNBORN, V0, V1, Version.visible(T, 2), DEAD),
+        )
+        assert kinds(s) == set()
+
+    def test_wr_dependency(self):
+        t1 = Transaction(1, [Operation.write(1, 0, T, {"v"}), Operation.commit(1, 1)])
+        t2 = Transaction(2, [Operation.read(2, 0, T, {"v"}), Operation.commit(2, 1)])
+        w, c1 = t1.operations
+        r, c2 = t2.operations
+        s = schedule_of([t1, t2], [w, c1, r, c2], {w: V1}, {r: V1})
+        assert kinds(s) == {(DependencyKind.WR, 1, 2)}
+
+    def test_rw_antidependency_and_counterflow(self):
+        t1 = Transaction(1, [Operation.read(1, 0, T, {"v"}), Operation.commit(1, 1)])
+        t2 = Transaction(2, [Operation.write(2, 0, T, {"v"}), Operation.commit(2, 1)])
+        r, c1 = t1.operations
+        w, c2 = t2.operations
+        # T2 commits before T1: the rw dependency flows against commit order.
+        s = schedule_of([t1, t2], [r, w, c2, c1], {w: V1}, {r: V0})
+        deps = dependencies(s)
+        assert [(d.kind, d.counterflow) for d in deps] == [(DependencyKind.RW, True)]
+
+    def test_pred_wr_dependency_via_insert_needs_no_overlap(self):
+        fresh = TupleId("R", 5)
+        t1 = Transaction(1, [Operation.insert(1, 0, fresh, {"v"}), Operation.commit(1, 1)])
+        t2 = Transaction(2, [Operation.pred_read(2, 0, "R", {"w"}), Operation.commit(2, 1)])
+        i, c1 = t1.operations
+        pr, c2 = t2.operations
+        vnew = Version.visible(fresh, 0)
+        s = Schedule(
+            transactions=(t1, t2),
+            order=(i, c1, pr, c2),
+            init_version={T: V0, fresh: Version.unborn(fresh)},
+            write_version={i: vnew},
+            read_version={},
+            vset={pr: {T: V0, fresh: vnew}},
+            version_order={
+                T: (UNBORN, V0, DEAD),
+                fresh: (Version.unborn(fresh), vnew, Version.dead(fresh)),
+            },
+            universe={"R": (T, fresh)},
+        )
+        assert (DependencyKind.PRED_WR, 1, 2) in kinds(s)
+
+    def test_pred_rw_antidependency_phantom_insert(self):
+        """The phantom: a predicate read missing a later insert."""
+        fresh = TupleId("R", 5)
+        t1 = Transaction(1, [Operation.pred_read(1, 0, "R", {"w"}), Operation.commit(1, 1)])
+        t2 = Transaction(2, [Operation.insert(2, 0, fresh, {"v"}), Operation.commit(2, 1)])
+        pr, c1 = t1.operations
+        i, c2 = t2.operations
+        vnew = Version.visible(fresh, 0)
+        s = Schedule(
+            transactions=(t1, t2),
+            order=(pr, i, c2, c1),
+            init_version={T: V0, fresh: Version.unborn(fresh)},
+            write_version={i: vnew},
+            read_version={},
+            vset={pr: {T: V0, fresh: Version.unborn(fresh)}},
+            version_order={
+                T: (UNBORN, V0, DEAD),
+                fresh: (Version.unborn(fresh), vnew, Version.dead(fresh)),
+            },
+            universe={"R": (T, fresh)},
+        )
+        deps = dependencies(s)
+        assert [(d.kind, d.counterflow) for d in deps] == [(DependencyKind.PRED_RW, True)]
+
+    def test_pred_rw_non_id_write_requires_overlap(self):
+        t1 = Transaction(1, [Operation.pred_read(1, 0, "R", {"w"}), Operation.commit(1, 1)])
+        t2 = Transaction(2, [Operation.write(2, 0, T, {"v"}), Operation.commit(2, 1)])
+        pr, c1 = t1.operations
+        w, c2 = t2.operations
+        s = schedule_of(
+            [t1, t2], [pr, w, c2, c1], {w: V1}, {}, vset={pr: {T: V0}},
+        )
+        assert kinds(s) == set()  # disjoint attributes: no dependency
+
+    def test_same_transaction_operations_never_depend(self):
+        t1 = Transaction(
+            1,
+            [Operation.read(1, 0, T, {"v"}), Operation.write(1, 1, T, {"v"}),
+             Operation.commit(1, 2)],
+        )
+        r, w, c = t1.operations
+        s = schedule_of([t1], [r, w, c], {w: V1}, {r: V0})
+        assert kinds(s) == set()
+
+
+class TestCycleClassification:
+    def _two_tx_cycle(self):
+        """T1 reads then T2 overwrites (counterflow rw), T1 also observes
+        T2-independent conflict back: build wr T2->T1 on another tuple."""
+        u = TupleId("R", 1)
+        u0, u1 = Version.visible(u, 0), Version.visible(u, 1)
+        t1 = Transaction(
+            1,
+            [Operation.read(1, 0, T, {"v"}), Operation.read(1, 1, u, {"v"}),
+             Operation.commit(1, 2)],
+        )
+        t2 = Transaction(
+            2,
+            [Operation.write(2, 0, T, {"v"}), Operation.write(2, 1, u, {"v"}),
+             Operation.commit(2, 2)],
+        )
+        r_t, r_u, c1 = t1.operations
+        w_t, w_u, c2 = t2.operations
+        s = Schedule(
+            transactions=(t1, t2),
+            order=(r_t, w_t, w_u, c2, r_u, c1),
+            init_version={T: V0, u: u0},
+            write_version={w_t: V1, w_u: u1},
+            read_version={r_t: V0, r_u: u1},
+            vset={},
+            version_order={T: (UNBORN, V0, V1, DEAD),
+                           u: (Version.unborn(u), u0, u1, Version.dead(u))},
+            universe={"R": (T, u)},
+        )
+        return s
+
+    def test_nonserializable_cycle_found(self):
+        s = self._two_tx_cycle()
+        s.validate()
+        assert not is_conflict_serializable(s)
+
+    def test_cycle_is_type2_under_mvrc(self):
+        from repro.mvsched.mvrc import allowed_under_mvrc
+        s = self._two_tx_cycle()
+        assert allowed_under_mvrc(s)
+        graph = serialization_graph(s)
+        cycles = list(graph.cycles())
+        assert cycles
+        for cycle in cycles:
+            assert cycle_is_type1(cycle)
+            assert cycle_is_type2(s, cycle)
+            assert classify_cycle(s, cycle) == "type-II"
+
+    def test_all_counterflow_cycle_is_not_type2(self):
+        s = self._two_tx_cycle()
+        graph = serialization_graph(s)
+        cycle = next(iter(graph.cycles()))
+        fake = [
+            Dependency(d.source, d.target, d.kind, True)  # force all counterflow
+            for d in cycle
+        ]
+        assert not cycle_is_type2(s, fake)
+        assert classify_cycle(s, fake) == "type-I"
+
+    def test_plain_cycle_classification(self):
+        s = self._two_tx_cycle()
+        graph = serialization_graph(s)
+        cycle = next(iter(graph.cycles()))
+        fake = [Dependency(d.source, d.target, d.kind, False) for d in cycle]
+        assert classify_cycle(s, fake) == "plain"
+
+    def test_serial_schedule_is_serializable(self):
+        t1 = Transaction(1, [Operation.write(1, 0, T, {"v"}), Operation.commit(1, 1)])
+        t2 = Transaction(2, [Operation.read(2, 0, T, {"v"}), Operation.commit(2, 1)])
+        w, c1 = t1.operations
+        r, c2 = t2.operations
+        s = schedule_of([t1, t2], [w, c1, r, c2], {w: V1}, {r: V1})
+        assert is_conflict_serializable(s)
+        assert list(serialization_graph(s).cycles()) == []

@@ -1,0 +1,369 @@
+"""Tests for repro.engine: instantiation, execution, interleavings, search."""
+
+import random
+
+import pytest
+
+from repro.btp.program import BTP, FKConstraint, seq
+from repro.btp.statement import Statement
+from repro.btp.unfold import unfold_program
+from repro.engine.executor import execute
+from repro.engine.instantiate import Instantiator, TupleUniverse, enumerate_choices
+from repro.engine.interleavings import (
+    all_unit_orders,
+    interleaving_count,
+    random_unit_order,
+    serial_unit_order,
+)
+from repro.engine.search import find_counterexample, random_mvrc_schedules
+from repro.errors import InstantiationError
+from repro.mvsched.mvrc import allowed_under_mvrc
+from repro.mvsched.operations import OpKind
+from repro.mvsched.serialization import is_conflict_serializable
+from repro.mvsched.tuples import TupleId, VersionKind
+from repro.schema import ForeignKey, Relation, Schema
+
+R = Relation("R", ["k", "v"], key=["k"])
+P = Relation("P", ["k", "x"], key=["k"])
+SCHEMA = Schema([R, P], [ForeignKey("f", "R", "P", {"v": "k"})])
+
+
+def ltp_of(program: BTP):
+    (ltp,) = unfold_program(program)
+    return ltp
+
+
+@pytest.fixture
+def universe():
+    return TupleUniverse(SCHEMA, {"R": 2, "P": 2})
+
+
+class TestTupleUniverse:
+    def test_existing_tuples(self, universe):
+        assert universe.existing("R") == (TupleId("R", 0), TupleId("R", 1))
+        assert universe.size("P") == 2
+
+    def test_is_existing(self, universe):
+        assert universe.is_existing(TupleId("R", 1))
+        assert not universe.is_existing(TupleId("R", 2))
+
+    def test_fk_image_alignment(self, universe):
+        assert universe.fk_image("f", TupleId("R", 0)) == TupleId("P", 0)
+        assert universe.fk_image("f", TupleId("R", 1)) == TupleId("P", 1)
+
+    def test_fk_image_wraps_modulo(self):
+        small = TupleUniverse(SCHEMA, {"R": 3, "P": 2})
+        assert small.fk_image("f", TupleId("R", 2)) == TupleId("P", 0)
+
+    def test_fk_image_wrong_relation_rejected(self, universe):
+        with pytest.raises(InstantiationError):
+            universe.fk_image("f", TupleId("P", 0))
+
+
+class TestInstantiator:
+    def test_key_update_produces_chunk(self, universe):
+        program = ltp_of(BTP("W", seq(Statement.key_update("w", R, reads=["v"], writes=["v"]))))
+        tx = Instantiator(universe).instantiate(program, [(TupleId("R", 0),)])
+        assert [op.kind for op in tx.operations] == [OpKind.READ, OpKind.WRITE, OpKind.COMMIT]
+        assert tx.chunks == ((0, 1),)
+
+    def test_read_elision_after_key_select(self, universe):
+        """Figure 3: a key update after a read of the same tuple emits only W."""
+        program = ltp_of(
+            BTP(
+                "RW",
+                seq(
+                    Statement.key_select("r", R, reads=["v"]),
+                    Statement.key_update("w", R, reads=["v"], writes=["v"]),
+                ),
+            )
+        )
+        t = TupleId("R", 0)
+        tx = Instantiator(universe).instantiate(program, [(t,), (t,)])
+        assert [op.kind for op in tx.operations] == [OpKind.READ, OpKind.WRITE, OpKind.COMMIT]
+        assert tx.chunks == ()  # the W is not chunked with the earlier read
+
+    def test_no_elision_for_distinct_tuples(self, universe):
+        program = ltp_of(
+            BTP(
+                "RW",
+                seq(
+                    Statement.key_select("r", R, reads=["v"]),
+                    Statement.key_update("w", R, reads=["v"], writes=["v"]),
+                ),
+            )
+        )
+        tx = Instantiator(universe).instantiate(
+            program, [(TupleId("R", 0),), (TupleId("R", 1),)]
+        )
+        assert len(tx.operations) == 4  # R, R, W, commit
+
+    def test_double_write_rejected(self, universe):
+        program = ltp_of(
+            BTP(
+                "WW",
+                seq(
+                    Statement.key_update("w1", R, reads=[], writes=["v"]),
+                    Statement.key_update("w2", R, reads=[], writes=["v"]),
+                ),
+            )
+        )
+        t = TupleId("R", 0)
+        with pytest.raises(InstantiationError):
+            Instantiator(universe).instantiate(program, [(t,), (t,)])
+
+    def test_insert_allocates_fresh_tuple(self, universe):
+        program = ltp_of(BTP("I", seq(Statement.insert("i", R))))
+        instantiator = Instantiator(universe)
+        tx1 = instantiator.instantiate(program, [()])
+        tx2 = instantiator.instantiate(program, [()])
+        t1 = tx1.operations[0].tuple
+        t2 = tx2.operations[0].tuple
+        assert t1 != t2
+        assert not universe.is_existing(t1) and not universe.is_existing(t2)
+
+    def test_pred_select_emits_pr_chunk(self, universe):
+        program = ltp_of(
+            BTP("PS", seq(Statement.pred_select("p", R, predicate=["v"], reads=["v"])))
+        )
+        tuples = universe.existing("R")
+        tx = Instantiator(universe).instantiate(program, [tuples])
+        assert [op.kind for op in tx.operations[:-1]] == [
+            OpKind.PRED_READ, OpKind.READ, OpKind.READ,
+        ]
+        assert tx.chunks == ((0, 2),)
+
+    def test_fk_constraint_enforced(self, universe):
+        program = ltp_of(
+            BTP(
+                "C",
+                seq(
+                    Statement.key_update("p", P, reads=[], writes=["x"]),
+                    Statement.key_select("r", R, reads=["v"]),
+                ),
+                constraints=[FKConstraint("f", source="r", target="p")],
+            )
+        )
+        good = Instantiator(universe).instantiate(
+            program, [(TupleId("P", 1),), (TupleId("R", 1),)]
+        )
+        assert len(good.operations) == 4
+        with pytest.raises(InstantiationError):
+            Instantiator(universe).instantiate(
+                program, [(TupleId("P", 0),), (TupleId("R", 1),)]
+            )
+
+    def test_key_statement_needs_exactly_one_tuple(self, universe):
+        program = ltp_of(BTP("S", seq(Statement.key_select("r", R, reads=["v"]))))
+        with pytest.raises(InstantiationError):
+            Instantiator(universe).instantiate(program, [universe.existing("R")])
+
+    def test_wrong_relation_rejected(self, universe):
+        program = ltp_of(BTP("S", seq(Statement.key_select("r", R, reads=["v"]))))
+        with pytest.raises(InstantiationError):
+            Instantiator(universe).instantiate(program, [(TupleId("P", 0),)])
+
+    def test_choice_count_mismatch_rejected(self, universe):
+        program = ltp_of(BTP("S", seq(Statement.key_select("r", R, reads=["v"]))))
+        with pytest.raises(InstantiationError):
+            Instantiator(universe).instantiate(program, [])
+
+
+class TestEnumerateChoices:
+    def test_key_statement_ranges_over_existing(self, universe):
+        program = ltp_of(BTP("S", seq(Statement.key_select("r", R, reads=["v"]))))
+        assert len(list(enumerate_choices(program, universe))) == 2
+
+    def test_pred_statement_ranges_over_subsets(self, universe):
+        program = ltp_of(
+            BTP("PS", seq(Statement.pred_select("p", R, predicate=["v"], reads=["v"])))
+        )
+        # subsets of size 0..2 of a 2-tuple relation: 1 + 2 + 1
+        assert len(list(enumerate_choices(program, universe, max_matched=2))) == 4
+        assert len(list(enumerate_choices(program, universe, max_matched=1))) == 3
+
+    def test_fk_filter(self, universe):
+        program = ltp_of(
+            BTP(
+                "C",
+                seq(
+                    Statement.key_update("p", P, reads=[], writes=["x"]),
+                    Statement.key_select("r", R, reads=["v"]),
+                ),
+                constraints=[FKConstraint("f", source="r", target="p")],
+            )
+        )
+        choices = list(enumerate_choices(program, universe))
+        assert len(choices) == 2  # aligned pairs only, not 4
+
+
+class TestExecutor:
+    def _writer(self, universe, tx_hint=None):
+        program = ltp_of(
+            BTP("W", seq(Statement.key_update("w", R, reads=["v"], writes=["v"])))
+        )
+        return program
+
+    def test_serial_execution(self, universe):
+        program = self._writer(universe)
+        instantiator = Instantiator(universe)
+        t = TupleId("R", 0)
+        tx1 = instantiator.instantiate(program, [(t,)])
+        tx2 = instantiator.instantiate(program, [(t,)])
+        schedule = execute([tx1, tx2], serial_unit_order([tx1, tx2]), universe)
+        assert schedule is not None
+        schedule.validate()
+        assert allowed_under_mvrc(schedule)
+        assert is_conflict_serializable(schedule)
+
+    def test_dirty_write_interleaving_rejected(self, universe):
+        program = ltp_of(
+            BTP(
+                "WW",
+                seq(
+                    Statement.key_update("a", R, reads=[], writes=["v"]),
+                    Statement.key_update("b", P, reads=[], writes=["x"]),
+                ),
+            )
+        )
+        instantiator = Instantiator(universe)
+        r0, p0 = TupleId("R", 0), TupleId("P", 0)
+        tx1 = instantiator.instantiate(program, [(r0,), (p0,)])
+        tx2 = instantiator.instantiate(program, [(r0,), (p0,)])
+        # tx1 writes R:0, then tx2 tries to write R:0 before tx1 commits.
+        assert execute([tx1, tx2], [1, 2, 2, 2, 1, 1], universe) is None
+
+    def test_reads_observe_last_committed(self, universe):
+        writer = self._writer(universe)
+        reader = ltp_of(BTP("S", seq(Statement.key_select("r", R, reads=["v"]))))
+        instantiator = Instantiator(universe)
+        t = TupleId("R", 0)
+        tx_w = instantiator.instantiate(writer, [(t,)])
+        tx_r = instantiator.instantiate(reader, [(t,)])
+        # Read before the writer commits: observes the initial version.
+        schedule = execute([tx_w, tx_r], [1, 2, 1, 2], universe)
+        read_op = tx_r.operations[0]
+        assert schedule.read_version[read_op].seq == 0
+        # Read after commit: observes the new version.
+        schedule = execute([tx_w, tx_r], [1, 1, 2, 2], universe)
+        assert schedule.read_version[read_op].seq == 1
+
+    def test_delete_then_access_rejected(self, universe):
+        deleter = ltp_of(BTP("D", seq(Statement.key_delete("d", R))))
+        reader = ltp_of(BTP("S", seq(Statement.key_select("r", R, reads=["v"]))))
+        instantiator = Instantiator(universe)
+        t = TupleId("R", 0)
+        tx_d = instantiator.instantiate(deleter, [(t,)])
+        tx_r = instantiator.instantiate(reader, [(t,)])
+        assert execute([tx_d, tx_r], [1, 1, 2, 2], universe) is None
+
+    def test_delete_creates_dead_version(self, universe):
+        deleter = ltp_of(BTP("D", seq(Statement.key_delete("d", R))))
+        instantiator = Instantiator(universe)
+        t = TupleId("R", 0)
+        tx = instantiator.instantiate(deleter, [(t,)])
+        schedule = execute([tx], [1, 1], universe)
+        assert schedule.write_version[tx.operations[0]].kind is VersionKind.DEAD
+        schedule.validate()
+
+    def test_insert_visible_to_later_pred_read(self, universe):
+        inserter = ltp_of(BTP("I", seq(Statement.insert("i", R))))
+        scanner = ltp_of(
+            BTP("PS", seq(Statement.pred_select("p", R, predicate=["v"], reads=["v"])))
+        )
+        instantiator = Instantiator(universe)
+        tx_i = instantiator.instantiate(inserter, [()])
+        tx_s = instantiator.instantiate(scanner, [()])
+        fresh = tx_i.operations[0].tuple
+        schedule = execute([tx_i, tx_s], [1, 1, 2, 2], universe)
+        pred_read = tx_s.operations[0]
+        assert schedule.vset[pred_read][fresh].is_visible
+        # Before the insert commits, the snapshot holds the unborn version.
+        schedule = execute([tx_i, tx_s], [2, 2, 1, 1], universe)
+        assert schedule.vset[pred_read][fresh].kind is VersionKind.UNBORN
+
+    def test_incomplete_unit_order_rejected(self, universe):
+        program = self._writer(universe)
+        tx = Instantiator(universe).instantiate(program, [(TupleId("R", 0),)])
+        assert execute([tx], [1], universe) is None
+        assert execute([tx], [1, 1, 1], universe) is None
+        assert execute([tx], [99, 1], universe) is None
+
+
+class TestInterleavings:
+    def _transactions(self, universe, count=2):
+        program = ltp_of(
+            BTP("W", seq(Statement.key_update("w", R, reads=["v"], writes=["v"])))
+        )
+        instantiator = Instantiator(universe)
+        return [
+            instantiator.instantiate(program, [(TupleId("R", 0),)]) for _ in range(count)
+        ]
+
+    def test_count_matches_enumeration(self, universe):
+        txs = self._transactions(universe)
+        orders = list(all_unit_orders(txs))
+        assert len(orders) == interleaving_count(txs) == 6  # C(4,2)
+        assert len(set(orders)) == len(orders)
+
+    def test_each_order_has_right_multiplicities(self, universe):
+        txs = self._transactions(universe)
+        for order in all_unit_orders(txs):
+            assert order.count(txs[0].tx) == 2
+            assert order.count(txs[1].tx) == 2
+
+    def test_random_order_valid(self, universe):
+        txs = self._transactions(universe)
+        rng = random.Random(1)
+        for _ in range(20):
+            order = random_unit_order(txs, rng)
+            assert sorted(order) == sorted(serial_unit_order(txs))
+
+
+class TestSearch:
+    def test_smallbank_writecheck_counterexample(self, smallbank_workload):
+        subset = smallbank_workload.subset(["WriteCheck"])
+        cex = find_counterexample(subset.programs, smallbank_workload.schema, universe_size=1)
+        assert cex is not None
+        cex.schedule.validate()
+        assert allowed_under_mvrc(cex.schedule)
+        assert not is_conflict_serializable(cex.schedule)
+
+    def test_robust_subset_has_no_small_counterexample(self, smallbank_workload):
+        subset = smallbank_workload.subset(["Balance", "DepositChecking"])
+        assert find_counterexample(
+            subset.programs, smallbank_workload.schema, universe_size=1
+        ) is None
+
+    def test_counterexample_reports_programs(self, smallbank_workload):
+        subset = smallbank_workload.subset(["Balance", "WriteCheck"])
+        cex = find_counterexample(subset.programs, smallbank_workload.schema, universe_size=1)
+        assert set(cex.programs) <= {"Balance", "WriteCheck"}
+        assert "MVRC" in cex.describe()
+
+    def test_random_mode(self, smallbank_workload):
+        subset = smallbank_workload.subset(["WriteCheck"])
+        cex = find_counterexample(
+            subset.programs, smallbank_workload.schema,
+            universe_size=1, mode="random", random_trials=3000,
+            rng=random.Random(5),
+        )
+        assert cex is not None
+
+    def test_unknown_mode_rejected(self, smallbank_workload):
+        with pytest.raises(ValueError):
+            find_counterexample(
+                smallbank_workload.programs, smallbank_workload.schema, mode="nope"
+            )
+
+    def test_random_schedules_are_mvrc(self, auction_workload):
+        rng = random.Random(11)
+        schedules = list(
+            random_mvrc_schedules(
+                auction_workload.programs, auction_workload.schema, 10, rng
+            )
+        )
+        assert len(schedules) == 10
+        for schedule in schedules:
+            schedule.validate()
+            assert allowed_under_mvrc(schedule)

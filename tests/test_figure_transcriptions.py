@@ -1,0 +1,164 @@
+"""Verbatim pins of the paper's statement tables (Figures 2, 10 and 17).
+
+Every statement's type, relation and attribute sets, exactly as printed.
+These are the inputs everything else derives from; any drift here would
+silently change the reproduced numbers.
+"""
+
+import pytest
+
+from repro.workloads import auction, smallbank, tpcc
+
+S_DISTS = {f"s_dist_{i:02d}" for i in range(1, 11)}
+
+# (program, name): (type, relation, PReadSet, ReadSet, WriteSet); None = ⊥.
+FIGURE2 = {
+    ("FindBids", "q1"): ("key upd", "Buyer", None, {"calls"}, {"calls"}),
+    ("FindBids", "q2"): ("pred sel", "Bids", {"bid"}, {"bid"}, None),
+    ("PlaceBid", "q3"): ("key upd", "Buyer", None, {"calls"}, {"calls"}),
+    ("PlaceBid", "q4"): ("key sel", "Bids", None, {"bid"}, None),
+    ("PlaceBid", "q5"): ("key upd", "Bids", None, set(), {"bid"}),
+    ("PlaceBid", "q6"): ("ins", "Log", None, None, {"id", "buyerId", "bid"}),
+}
+
+FIGURE10 = {
+    ("Amalgamate", "q1"): ("key sel", "Account", None, {"CustomerId"}, None),
+    ("Amalgamate", "q2"): ("key sel", "Account", None, {"CustomerId"}, None),
+    ("Amalgamate", "q3"): ("key upd", "Savings", None, {"Balance"}, {"Balance"}),
+    ("Amalgamate", "q4"): ("key upd", "Checking", None, {"Balance"}, {"Balance"}),
+    ("Amalgamate", "q5"): ("key upd", "Checking", None, {"Balance"}, {"Balance"}),
+    ("Balance", "q6"): ("key sel", "Account", None, {"CustomerId"}, None),
+    ("Balance", "q7"): ("key sel", "Savings", None, {"Balance"}, None),
+    ("Balance", "q8"): ("key sel", "Checking", None, {"Balance"}, None),
+    ("DepositChecking", "q9"): ("key sel", "Account", None, {"CustomerId"}, None),
+    ("DepositChecking", "q10"): ("key upd", "Checking", None, {"Balance"}, {"Balance"}),
+    ("TransactSavings", "q11"): ("key sel", "Account", None, {"CustomerId"}, None),
+    ("TransactSavings", "q12"): ("key upd", "Savings", None, {"Balance"}, {"Balance"}),
+    ("WriteCheck", "q13"): ("key sel", "Account", None, {"CustomerId"}, None),
+    ("WriteCheck", "q14"): ("key sel", "Savings", None, {"Balance"}, None),
+    ("WriteCheck", "q15"): ("key sel", "Checking", None, {"Balance"}, None),
+    ("WriteCheck", "q16"): ("key upd", "Checking", None, {"Balance"}, {"Balance"}),
+}
+
+FIGURE17 = {
+    ("Delivery", "q1"): (
+        "pred sel", "New_Order", {"no_d_id", "no_w_id"}, {"no_o_id"}, None),
+    ("Delivery", "q2"): (
+        "key del", "New_Order", None, None, {"no_d_id", "no_o_id", "no_w_id"}),
+    ("Delivery", "q3"): ("key sel", "Orders", None, {"o_c_id"}, None),
+    ("Delivery", "q4"): ("key upd", "Orders", None, set(), {"o_carrier_id"}),
+    ("Delivery", "q5"): (
+        "pred upd", "Order_Line", {"ol_d_id", "ol_o_id", "ol_w_id"}, set(),
+        {"ol_delivery_d"}),
+    ("Delivery", "q6"): (
+        "pred sel", "Order_Line", {"ol_d_id", "ol_o_id", "ol_w_id"},
+        {"ol_amount"}, None),
+    ("Delivery", "q7"): (
+        "key upd", "Customer", None, {"c_balance", "c_delivery_cnt"},
+        {"c_balance", "c_delivery_cnt"}),
+    ("NewOrder", "q8"): (
+        "key sel", "Customer", None, {"c_credit", "c_discount", "c_last"}, None),
+    ("NewOrder", "q9"): ("key sel", "Warehouse", None, {"w_tax"}, None),
+    ("NewOrder", "q10"): (
+        "key upd", "District", None, {"d_next_o_id", "d_tax"}, {"d_next_o_id"}),
+    ("NewOrder", "q11"): (
+        "ins", "Orders", None, None,
+        {"o_all_local", "o_c_id", "o_d_id", "o_entry_id", "o_id", "o_ol_cnt",
+         "o_w_id"}),
+    ("NewOrder", "q12"): (
+        "ins", "New_Order", None, None, {"no_d_id", "no_o_id", "no_w_id"}),
+    ("NewOrder", "q13"): (
+        "key sel", "Item", None, {"i_data", "i_name", "i_price"}, None),
+    ("NewOrder", "q14"): (
+        "key upd", "Stock", None,
+        {"s_data", "s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"} | S_DISTS,
+        {"s_order_cnt", "s_quantity", "s_remote_cnt", "s_ytd"}),
+    ("NewOrder", "q15"): (
+        "ins", "Order_Line", None, None,
+        {"ol_amount", "ol_d_id", "ol_dist_info", "ol_i_id", "ol_number",
+         "ol_o_id", "ol_quantity", "ol_supply_w_id", "ol_w_id"}),
+    ("OrderStatus", "q16"): (
+        "pred sel", "Customer", {"c_d_id", "c_last", "c_w_id"},
+        {"c_balance", "c_first", "c_id", "c_middle"}, None),
+    ("OrderStatus", "q17"): (
+        "key sel", "Customer", None,
+        {"c_balance", "c_first", "c_last", "c_middle"}, None),
+    ("OrderStatus", "q18"): (
+        "pred sel", "Orders", {"o_c_id", "o_d_id", "o_w_id"},
+        {"o_carrier_id", "o_entry_id", "o_id"}, None),
+    ("OrderStatus", "q19"): (
+        "pred sel", "Order_Line", {"ol_d_id", "ol_o_id", "ol_w_id"},
+        {"ol_amount", "ol_delivery_d", "ol_i_id", "ol_quantity",
+         "ol_supply_w_id"}, None),
+    ("Payment", "q20"): (
+        "key upd", "Warehouse", None,
+        {"w_city", "w_name", "w_state", "w_street_1", "w_street_2", "w_ytd",
+         "w_zip"}, {"w_ytd"}),
+    ("Payment", "q21"): (
+        "key upd", "District", None,
+        {"d_city", "d_name", "d_state", "d_street_1", "d_street_2", "d_ytd",
+         "d_zip"}, {"d_ytd"}),
+    ("Payment", "q22"): (
+        "pred sel", "Customer", {"c_d_id", "c_last", "c_w_id"}, {"c_id"}, None),
+    ("Payment", "q23"): (
+        "key upd", "Customer", None,
+        {"c_balance", "c_city", "c_credit", "c_credit_lim", "c_discount",
+         "c_first", "c_last", "c_middle", "c_phone", "c_since", "c_state",
+         "c_street_1", "c_street_2", "c_ytd_payment", "c_zip"},
+        {"c_balance", "c_payment_cnt", "c_ytd_payment"}),
+    ("Payment", "q24"): ("key sel", "Customer", None, {"c_data"}, None),
+    ("Payment", "q25"): ("key upd", "Customer", None, set(), {"c_data"}),
+    ("Payment", "q26"): (
+        "ins", "History", None, None,
+        {"h_amount", "h_c_d_id", "h_c_id", "h_c_w_id", "h_d_id", "h_data",
+         "h_date", "h_w_id"}),
+    ("StockLevel", "q27"): ("key sel", "District", None, {"d_next_o_id"}, None),
+    ("StockLevel", "q28"): (
+        "pred sel", "Order_Line", {"ol_d_id", "ol_o_id", "ol_w_id"},
+        {"ol_i_id"}, None),
+    ("StockLevel", "q29"): (
+        "pred sel", "Stock", {"s_quantity", "s_w_id"}, {"s_i_id"}, None),
+}
+
+
+def _cases(workload_factory, table):
+    workload = workload_factory()
+    statements = {}
+    for program in workload.programs:
+        for stmt in program.statements():
+            statements[(program.name, stmt.name)] = stmt
+    assert set(statements) == set(table)
+    for key in sorted(table, key=lambda item: (item[0], int(item[1][1:]))):
+        yield pytest.param(statements[key], table[key], id=f"{key[0]}.{key[1]}")
+
+
+def _norm(value):
+    return None if value is None else frozenset(value)
+
+
+@pytest.mark.parametrize("stmt,expected", list(_cases(auction, FIGURE2)))
+def test_figure2_auction(stmt, expected):
+    stype, relation, preads, reads, writes = expected
+    assert stmt.stype.value == stype
+    assert stmt.relation == relation
+    assert stmt.pread_set == _norm(preads)
+    assert stmt.read_set == _norm(reads)
+    assert stmt.write_set == _norm(writes)
+
+
+@pytest.mark.parametrize("stmt,expected", list(_cases(smallbank, FIGURE10)))
+def test_figure10_smallbank(stmt, expected):
+    stype, relation, preads, reads, writes = expected
+    assert (stmt.stype.value, stmt.relation) == (stype, relation)
+    assert stmt.pread_set == _norm(preads)
+    assert stmt.read_set == _norm(reads)
+    assert stmt.write_set == _norm(writes)
+
+
+@pytest.mark.parametrize("stmt,expected", list(_cases(tpcc, FIGURE17)))
+def test_figure17_tpcc(stmt, expected):
+    stype, relation, preads, reads, writes = expected
+    assert (stmt.stype.value, stmt.relation) == (stype, relation)
+    assert stmt.pread_set == _norm(preads)
+    assert stmt.read_set == _norm(reads)
+    assert stmt.write_set == _norm(writes)

@@ -1,0 +1,105 @@
+"""Tests for the multi-relation SELECT extension (Section 5.4)."""
+
+import pytest
+
+from repro.btp.statement import StatementType
+from repro.detection.typeii import is_robust_type2
+from repro.errors import SqlError
+from repro.schema import Relation, Schema
+from repro.sqlfront import parse_program
+from repro.summary.construct import build_summary_graph
+from repro.summary.settings import ATTR_DEP_FK
+
+SCHEMA = Schema(
+    [
+        Relation("Orders", ["o_id", "o_total"], key=["o_id"]),
+        Relation("Lines", ["l_id", "l_order", "l_amount"], key=["l_id"]),
+    ]
+)
+
+
+class TestJoinTranslation:
+    def test_join_desugars_to_per_relation_pred_selects(self):
+        program = parse_program(
+            "SELECT o_total, l_amount FROM Orders, Lines WHERE o_id = l_order;",
+            SCHEMA,
+            "JoinReport",
+        )
+        stmts = program.statements()
+        assert [s.stype for s in stmts] == [StatementType.PRED_SELECT] * 2
+        orders, lines = stmts
+        assert orders.relation == "Orders"
+        assert orders.pread_set == frozenset({"o_id"})
+        assert orders.read_set == frozenset({"o_total"})
+        assert lines.relation == "Lines"
+        assert lines.pread_set == frozenset({"l_order"})
+        assert lines.read_set == frozenset({"l_amount"})
+
+    def test_aliases_are_accepted(self):
+        program = parse_program(
+            "SELECT o_total FROM Orders o, Lines l WHERE o.o_id = l.l_order;",
+            SCHEMA,
+            "Aliased",
+        )
+        assert len(program.statements()) == 2
+
+    def test_shared_attribute_goes_to_both_relations(self):
+        schema = Schema(
+            [
+                Relation("A", ["k", "common"], key=["k"]),
+                Relation("B", ["k2", "common"], key=["k2"]),
+            ]
+        )
+        program = parse_program(
+            "SELECT common FROM A, B WHERE common > 0;", schema, "Shared"
+        )
+        first, second = program.statements()
+        assert first.pread_set == frozenset({"common"})
+        assert second.pread_set == frozenset({"common"})
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(SqlError, match="not in any"):
+            parse_program(
+                "SELECT nope FROM Orders, Lines WHERE o_id = l_order;",
+                SCHEMA,
+                "Bad",
+            )
+
+    def test_single_relation_select_unaffected(self):
+        program = parse_program(
+            "SELECT o_total FROM Orders WHERE o_id = :x;", SCHEMA, "Plain"
+        )
+        (stmt,) = program.statements()
+        assert stmt.stype is StatementType.KEY_SELECT
+
+
+class TestJoinRobustness:
+    def _programs(self):
+        report = parse_program(
+            "SELECT o_total, l_amount FROM Orders, Lines WHERE o_id = l_order;",
+            SCHEMA,
+            "Report",
+        )
+        add_line = parse_program(
+            """
+            UPDATE Orders SET o_total = o_total + :a WHERE o_id = :o;
+            INSERT INTO Lines VALUES (:l, :o, :a);
+            """,
+            SCHEMA,
+            "AddLine",
+        )
+        return [report, add_line]
+
+    def test_join_workload_not_robust(self):
+        """The reporting join can observe a half-applied AddLine: the
+        summary graph correctly contains a type-II cycle."""
+        graph = build_summary_graph(self._programs(), SCHEMA, ATTR_DEP_FK)
+        assert not is_robust_type2(graph)
+
+    def test_join_edges_cover_both_relations(self):
+        graph = build_summary_graph(self._programs(), SCHEMA, ATTR_DEP_FK)
+        relations_with_edges = set()
+        for edge in graph.edges:
+            stmt = graph.source_statement(edge)
+            relations_with_edges.add(stmt.relation)
+        assert relations_with_edges == {"Orders", "Lines"}

@@ -1,0 +1,145 @@
+"""Tests for repro.mvsched: tuples, versions, operations, transactions."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.mvsched.operations import OpKind, Operation
+from repro.mvsched.transaction import Transaction, make_transaction
+from repro.mvsched.tuples import TupleId, Version, VersionKind
+
+T1 = TupleId("R", 0)
+T2 = TupleId("R", 1)
+S1 = TupleId("S", 0)
+
+
+class TestVersions:
+    def test_canonical_order(self):
+        unborn = Version.unborn(T1)
+        v0 = Version.visible(T1, 0)
+        v1 = Version.visible(T1, 1)
+        dead = Version.dead(T1)
+        assert unborn.precedes(v0)
+        assert v0.precedes(v1)
+        assert v1.precedes(dead)
+        assert unborn.precedes(dead)
+
+    def test_order_is_strict(self):
+        v0 = Version.visible(T1, 0)
+        assert not v0.precedes(v0)
+
+    def test_cross_tuple_comparison_rejected(self):
+        with pytest.raises(ValueError):
+            Version.unborn(T1).precedes(Version.unborn(T2))
+
+    def test_visibility(self):
+        assert Version.visible(T1, 0).is_visible
+        assert not Version.unborn(T1).is_visible
+        assert not Version.dead(T1).is_visible
+
+    def test_str(self):
+        assert str(Version.visible(T1, 2)) == "R:0.v2"
+        assert "unborn" in str(Version.unborn(T1))
+
+
+class TestOperations:
+    def test_read_constructor(self):
+        op = Operation.read(1, 0, T1, {"v"})
+        assert op.is_read and not op.is_write
+        assert op.relation == "R" and op.attrs == frozenset({"v"})
+
+    def test_write_family(self):
+        for factory in (Operation.write, Operation.insert, Operation.delete):
+            op = factory(1, 0, T1, {"v"})
+            assert op.is_write and not op.is_read
+
+    def test_pred_read(self):
+        op = Operation.pred_read(1, 0, "R", {"v"})
+        assert op.is_pred_read and op.tuple is None and op.relation == "R"
+
+    def test_commit(self):
+        op = Operation.commit(1, 5)
+        assert op.is_commit and not op.is_write and not op.is_read
+
+    def test_commit_with_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.COMMIT, 1, 0, T1)
+
+    def test_pred_read_with_tuple_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.PRED_READ, 1, 0, T1, "R")
+
+    def test_data_op_requires_tuple(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, 1, 0, None)
+
+    def test_relation_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Operation(OpKind.READ, 1, 0, T1, "S")
+
+    def test_str(self):
+        assert str(Operation.read(3, 0, T1)) == "R3[R:0]"
+        assert str(Operation.pred_read(3, 0, "R")) == "PR3[R]"
+        assert str(Operation.commit(3, 1)) == "C3"
+
+
+class TestTransactions:
+    def test_make_transaction(self):
+        t = make_transaction(1, [("R", T1, {"v"}), ("W", T1, {"v"})], chunks=[(0, 1)])
+        assert len(t) == 3  # + commit
+        assert t.commit.is_commit
+        assert t.chunks == ((0, 1),)
+
+    def test_commit_required(self):
+        with pytest.raises(ScheduleError):
+            Transaction(1, [Operation.read(1, 0, T1)])
+
+    def test_single_commit_only(self):
+        ops = [Operation.commit(1, 0), Operation.commit(1, 1)]
+        with pytest.raises(ScheduleError):
+            Transaction(1, ops)
+
+    def test_foreign_operation_rejected(self):
+        ops = [Operation.read(2, 0, T1), Operation.commit(1, 1)]
+        with pytest.raises(ScheduleError):
+            Transaction(1, ops)
+
+    def test_index_mismatch_rejected(self):
+        ops = [Operation.read(1, 5, T1), Operation.commit(1, 1)]
+        with pytest.raises(ScheduleError):
+            Transaction(1, ops)
+
+    def test_double_read_of_tuple_rejected(self):
+        with pytest.raises(ScheduleError):
+            make_transaction(1, [("R", T1, set()), ("R", T1, set())])
+
+    def test_double_write_of_tuple_rejected(self):
+        with pytest.raises(ScheduleError):
+            make_transaction(1, [("W", T1, {"v"}), ("W", T1, {"v"})])
+
+    def test_read_and_write_same_tuple_allowed(self):
+        t = make_transaction(1, [("R", T1, {"v"}), ("W", T1, {"v"})])
+        assert len(t.data_operations) == 2
+
+    def test_chunk_out_of_range_rejected(self):
+        with pytest.raises(ScheduleError):
+            make_transaction(1, [("R", T1, set())], chunks=[(0, 1)])
+
+    def test_chunk_units_partitioning(self):
+        t = make_transaction(
+            1,
+            [("R", T1, set()), ("W", T1, set()), ("R", T2, set())],
+            chunks=[(0, 1)],
+        )
+        units = t.chunk_units()
+        assert [len(unit) for unit in units] == [2, 1, 1]  # chunk, read, commit
+
+    def test_precedes(self):
+        t = make_transaction(1, [("R", T1, set()), ("R", T2, set())])
+        first, second = t.operations[0], t.operations[1]
+        assert t.precedes(first, second)
+        assert not t.precedes(second, first)
+
+    def test_position_of_foreign_op_rejected(self):
+        t = make_transaction(1, [("R", T1, set())])
+        with pytest.raises(ScheduleError):
+            t.position(Operation.read(9, 0, T1))

@@ -1,0 +1,155 @@
+"""Tests for repro.btp.program: the BTP AST and FK annotations."""
+
+import pytest
+
+from repro.btp.program import (
+    BTP,
+    Choice,
+    FKConstraint,
+    Loop,
+    Opt,
+    Seq,
+    Stmt,
+    choice,
+    loop,
+    optional,
+    seq,
+)
+from repro.btp.statement import Statement
+from repro.errors import ProgramError
+from repro.schema import ForeignKey, Relation, Schema
+
+R = Relation("R", ["k", "v"], key=["k"])
+S = Relation("S", ["k", "r_ref"], key=["k"])
+SCHEMA = Schema([R, S], [ForeignKey("f", "S", "R", {"r_ref": "k"})])
+
+
+def stmt(name: str, relation=R) -> Statement:
+    return Statement.key_select(name, relation, reads=["v" if relation is R else "r_ref"])
+
+
+class TestBuilders:
+    def test_seq_wraps_statements(self):
+        node = seq(stmt("a"), stmt("b"))
+        assert isinstance(node, Seq)
+        assert [s.name for s in node.statements()] == ["a", "b"]
+
+    def test_seq_single_part_unwrapped(self):
+        node = seq(stmt("a"))
+        assert isinstance(node, Stmt)
+
+    def test_seq_empty_rejected(self):
+        with pytest.raises(ProgramError):
+            seq()
+
+    def test_choice(self):
+        node = choice(stmt("a"), stmt("b"))
+        assert isinstance(node, Choice)
+        assert [s.name for s in node.statements()] == ["a", "b"]
+
+    def test_optional(self):
+        node = optional(stmt("a"))
+        assert isinstance(node, Opt)
+
+    def test_loop(self):
+        node = loop(seq(stmt("a"), stmt("b")))
+        assert isinstance(node, Loop)
+        assert [s.name for s in node.statements()] == ["a", "b"]
+
+    def test_nested_structure_statement_order(self):
+        node = seq(stmt("a"), choice(stmt("b"), stmt("c")), loop(stmt("d")))
+        assert [s.name for s in node.statements()] == ["a", "b", "c", "d"]
+
+    def test_non_node_rejected(self):
+        with pytest.raises(ProgramError):
+            seq("not a statement")
+
+    def test_str_rendering(self):
+        node = seq(stmt("a"), optional(stmt("b")), loop(stmt("c")))
+        text = str(node)
+        assert "a" in text and "(b | ε)" in text and "loop(c)" in text
+
+
+class TestBTP:
+    def test_statement_names_must_be_unique(self):
+        with pytest.raises(ProgramError):
+            BTP("P", seq(stmt("a"), stmt("a")))
+
+    def test_statements_accessors(self):
+        program = BTP("P", seq(stmt("a"), stmt("b")))
+        assert [s.name for s in program.statements()] == ["a", "b"]
+        assert set(program.statements_by_name()) == {"a", "b"}
+
+    def test_is_linear(self):
+        assert BTP("P", seq(stmt("a"), stmt("b"))).is_linear
+        assert not BTP("P", optional(stmt("a"))).is_linear
+        assert not BTP("P", loop(stmt("a"))).is_linear
+        assert not BTP("P", choice(stmt("a"), stmt("b"))).is_linear
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProgramError):
+            BTP("", stmt("a"))
+
+    def test_constraint_referencing_unknown_statement_rejected(self):
+        with pytest.raises(ProgramError):
+            BTP("P", stmt("a"), constraints=[FKConstraint("f", "nope", "a")])
+
+    def test_constraint_target_must_be_key_based(self):
+        pred = Statement.pred_select("p", R, predicate=["v"], reads=["v"])
+        src = stmt("s", S)
+        with pytest.raises(ProgramError):
+            BTP("P", seq(src, pred), constraints=[FKConstraint("f", "s", "p")])
+
+    def test_constraint_on_insert_target_allowed(self):
+        target = Statement.insert("ins", R)
+        source = stmt("s", S)
+        program = BTP("P", seq(target, source), constraints=[FKConstraint("f", "s", "ins")])
+        assert program.constraints[0].target == "ins"
+
+    def test_validate_against_checks_fk_endpoints(self):
+        # Source must be over dom(f) = S; here it is over R.
+        bad = BTP(
+            "P",
+            seq(stmt("a"), stmt("b")),
+            constraints=[FKConstraint("f", source="a", target="b")],
+        )
+        with pytest.raises(ProgramError):
+            bad.validate_against(SCHEMA)
+
+    def test_validate_against_accepts_good_program(self):
+        program = BTP(
+            "P",
+            seq(stmt("r1"), stmt("s1", S)),
+            constraints=[FKConstraint("f", source="s1", target="r1")],
+        )
+        program.validate_against(SCHEMA)
+
+    def test_widened_program(self):
+        program = BTP("P", seq(stmt("a"), stmt("b")))
+        wide = program.widened(SCHEMA)
+        for statement in wide.statements():
+            assert statement.read_set == R.attribute_set
+        assert wide.name == "P"
+
+    def test_widened_preserves_structure(self):
+        program = BTP("P", seq(stmt("a"), optional(loop(choice(stmt("b"), stmt("c"))))))
+        wide = program.widened(SCHEMA)
+        assert str(wide.root) == str(program.root)
+
+    def test_str(self):
+        program = BTP("P", seq(stmt("a"), stmt("b")))
+        assert str(program) == "P := a; b"
+
+
+class TestEnclosingLoops:
+    def test_statement_outside_loop_has_no_loops(self):
+        node = seq(stmt("a"), loop(stmt("b")))
+        loops = node.enclosing_loops()
+        assert loops["a"] == ()
+        assert len(loops["b"]) == 1
+
+    def test_nested_loops(self):
+        node = loop(seq(stmt("a"), loop(stmt("b"))))
+        loops = node.enclosing_loops()
+        assert len(loops["a"]) == 1
+        assert len(loops["b"]) == 2

@@ -1,0 +1,254 @@
+"""Tests for the Section 3.3 schedule validity rules and Definition 3.3.
+
+Schedules are built by hand so that every validity bullet can be violated
+in isolation.
+"""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.mvsched.mvrc import (
+    allowed_under_mvrc,
+    find_dirty_write,
+    is_read_last_committed,
+)
+from repro.mvsched.operations import Operation
+from repro.mvsched.schedule import Schedule
+from repro.mvsched.transaction import Transaction
+from repro.mvsched.tuples import TupleId, Version
+
+T = TupleId("R", 0)
+UNBORN = Version.unborn(T)
+V0 = Version.visible(T, 0)
+V1 = Version.visible(T, 1)
+DEAD = Version.dead(T)
+
+
+def writer_tx(tx: int) -> Transaction:
+    return Transaction(tx, [Operation.write(tx, 0, T, {"v"}), Operation.commit(tx, 1)])
+
+
+def reader_tx(tx: int) -> Transaction:
+    return Transaction(tx, [Operation.read(tx, 0, T, {"v"}), Operation.commit(tx, 1)])
+
+
+def simple_schedule(order=None, read_version=V1, version_order=(UNBORN, V0, V1, DEAD)):
+    """T1 writes v1, T2 reads; defaults give a valid RLC schedule W1 C1 R2 C2."""
+    t1, t2 = writer_tx(1), reader_tx(2)
+    w, c1 = t1.operations
+    r, c2 = t2.operations
+    return Schedule(
+        transactions=(t1, t2),
+        order=tuple(order or (w, c1, r, c2)),
+        init_version={T: V0},
+        write_version={w: V1},
+        read_version={r: read_version},
+        vset={},
+        version_order={T: tuple(version_order)},
+        universe={"R": (T,)},
+    )
+
+
+class TestValidSchedule:
+    def test_default_schedule_is_valid(self):
+        simple_schedule().validate()
+
+    def test_default_schedule_is_mvrc(self):
+        schedule = simple_schedule()
+        assert find_dirty_write(schedule) is None
+        assert is_read_last_committed(schedule)
+        assert allowed_under_mvrc(schedule)
+
+    def test_position_and_before(self):
+        schedule = simple_schedule()
+        w, c1 = schedule.transactions[0].operations
+        r, _ = schedule.transactions[1].operations
+        assert schedule.before(w, r) and not schedule.before(r, w)
+        assert schedule.commit_position[1] == 1
+
+    def test_version_order_queries(self):
+        schedule = simple_schedule()
+        assert schedule.version_before(V0, V1)
+        assert not schedule.version_before(V1, V0)
+        with pytest.raises(ScheduleError):
+            schedule.version_position(Version.visible(T, 9))
+
+
+class TestValidityViolations:
+    def test_transaction_order_violated(self):
+        t1, t2 = writer_tx(1), reader_tx(2)
+        w, c1 = t1.operations
+        r, c2 = t2.operations
+        schedule = simple_schedule(order=(c1, w, r, c2))
+        with pytest.raises(ScheduleError, match="out of order"):
+            schedule.validate()
+
+    def test_chunk_interleaving_detected(self):
+        t1 = Transaction(
+            1,
+            [Operation.read(1, 0, T, {"v"}), Operation.write(1, 1, T, {"v"}),
+             Operation.commit(1, 2)],
+            chunks=[(0, 1)],
+        )
+        t2 = reader_tx(2)
+        r1, w1, c1 = t1.operations
+        r2, c2 = t2.operations
+        schedule = Schedule(
+            transactions=(t1, t2),
+            order=(r1, r2, w1, c1, c2),
+            init_version={T: V0},
+            write_version={w1: V1},
+            read_version={r1: V0, r2: V0},
+            vset={},
+            version_order={T: (UNBORN, V0, V1, DEAD)},
+        )
+        with pytest.raises(ScheduleError, match="chunk"):
+            schedule.validate()
+
+    def test_version_order_must_start_unborn(self):
+        schedule = simple_schedule(version_order=(V0, UNBORN, V1, DEAD))
+        with pytest.raises(ScheduleError, match="unborn"):
+            schedule.validate()
+
+    def test_version_order_must_end_dead(self):
+        schedule = simple_schedule(version_order=(UNBORN, V0, V1))
+        with pytest.raises(ScheduleError, match="dead"):
+            schedule.validate()
+
+    def test_write_version_must_follow_init(self):
+        # The created version V1 is placed before the initial version V0.
+        schedule = simple_schedule(version_order=(UNBORN, V1, V0, DEAD), read_version=V0)
+        with pytest.raises(ScheduleError, match="initial"):
+            schedule.validate()
+
+    def test_non_delete_may_not_create_dead_version(self):
+        t1, t2 = writer_tx(1), reader_tx(2)
+        w, c1 = t1.operations
+        r, c2 = t2.operations
+        schedule = Schedule(
+            transactions=(t1, t2),
+            order=(w, c1, r, c2),
+            init_version={T: V0},
+            write_version={w: DEAD},
+            read_version={r: V0},
+            vset={},
+            version_order={T: (UNBORN, V0, DEAD)},
+        )
+        with pytest.raises(ScheduleError, match="dead"):
+            schedule.validate()
+
+    def test_read_of_unwritten_version_rejected(self):
+        schedule = simple_schedule(
+            read_version=Version.visible(T, 2),
+            version_order=(UNBORN, V0, V1, Version.visible(T, 2), DEAD),
+        )
+        with pytest.raises(ScheduleError, match="nobody wrote"):
+            schedule.validate()
+
+    def test_read_of_future_version_rejected(self):
+        t1, t2 = writer_tx(1), reader_tx(2)
+        w, c1 = t1.operations
+        r, c2 = t2.operations
+        schedule = simple_schedule(order=(r, c2, w, c1), read_version=V1)
+        with pytest.raises(ScheduleError, match="later"):
+            schedule.validate()
+
+    def test_plain_read_of_unborn_version_rejected(self):
+        schedule = simple_schedule(read_version=UNBORN)
+        with pytest.raises(ScheduleError, match="non-visible"):
+            schedule.validate()
+
+    def test_insert_must_create_first_visible_version(self):
+        # A plain write creating the first visible version of an unborn tuple.
+        fresh = TupleId("R", 7)
+        t1 = Transaction(1, [Operation.write(1, 0, fresh, {"v"}), Operation.commit(1, 1)])
+        w, c1 = t1.operations
+        schedule = Schedule(
+            transactions=(t1,),
+            order=(w, c1),
+            init_version={fresh: Version.unborn(fresh)},
+            write_version={w: Version.visible(fresh, 0)},
+            read_version={},
+            vset={},
+            version_order={
+                fresh: (Version.unborn(fresh), Version.visible(fresh, 0), Version.dead(fresh))
+            },
+        )
+        with pytest.raises(ScheduleError, match="insert"):
+            schedule.validate()
+
+    def test_insert_on_existing_tuple_rejected(self):
+        t1 = Transaction(1, [Operation.insert(1, 0, T, {"v"}), Operation.commit(1, 1)])
+        i, c1 = t1.operations
+        schedule = Schedule(
+            transactions=(t1,),
+            order=(i, c1),
+            init_version={T: V0},
+            write_version={i: V1},
+            read_version={},
+            vset={},
+            version_order={T: (UNBORN, V0, V1, DEAD)},
+        )
+        with pytest.raises(ScheduleError, match="insert"):
+            schedule.validate()
+
+
+class TestMvrcConditions:
+    def test_dirty_write_detected(self):
+        t1 = writer_tx(1)
+        t2 = Transaction(2, [Operation.write(2, 0, T, {"v"}), Operation.commit(2, 1)])
+        w1, c1 = t1.operations
+        w2, c2 = t2.operations
+        schedule = Schedule(
+            transactions=(t1, t2),
+            order=(w1, w2, c1, c2),  # w2 between w1 and C1: dirty
+            init_version={T: V0},
+            write_version={w1: V1, w2: Version.visible(T, 2)},
+            read_version={},
+            vset={},
+            version_order={T: (UNBORN, V0, V1, Version.visible(T, 2), DEAD)},
+        )
+        pair = find_dirty_write(schedule)
+        assert pair is not None and pair[0] is w1 and pair[1] is w2
+
+    def test_read_of_stale_version_violates_rlc(self):
+        # T2 reads V0 although T1 committed V1 before the read.
+        schedule = simple_schedule(read_version=V0)
+        schedule.validate()  # still a valid multiversion schedule ...
+        assert not is_read_last_committed(schedule)  # ... but not RLC
+        assert not allowed_under_mvrc(schedule)
+
+    def test_version_order_against_commit_order_violates_rlc(self):
+        t1, t2 = writer_tx(1), writer_tx(2)
+        w1, c1 = t1.operations
+        w2, c2 = t2.operations
+        # T1 commits first but its version is ordered *after* T2's.
+        schedule = Schedule(
+            transactions=(t1, t2),
+            order=(w1, c1, w2, c2),
+            init_version={T: V0},
+            write_version={w1: Version.visible(T, 2), w2: V1},
+            read_version={},
+            vset={},
+            version_order={T: (UNBORN, V0, V1, Version.visible(T, 2), DEAD)},
+        )
+        assert not is_read_last_committed(schedule)
+
+    def test_pred_read_rlc(self):
+        t1 = writer_tx(1)
+        t2 = Transaction(2, [Operation.pred_read(2, 0, "R", {"v"}), Operation.commit(2, 1)])
+        w, c1 = t1.operations
+        pr, c2 = t2.operations
+        def make(vset_version):
+            return Schedule(
+                transactions=(t1, t2),
+                order=(w, c1, pr, c2),
+                init_version={T: V0},
+                write_version={w: V1},
+                read_version={},
+                vset={pr: {T: vset_version}},
+                version_order={T: (UNBORN, V0, V1, DEAD)},
+                universe={"R": (T,)},
+            )
+        assert is_read_last_committed(make(V1))
+        assert not is_read_last_committed(make(V0))  # stale snapshot

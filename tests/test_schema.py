@@ -1,0 +1,181 @@
+"""Tests for repro.schema: relations, foreign keys, schema validation."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema import ForeignKey, Relation, Schema
+
+
+class TestRelation:
+    def test_basic_construction(self):
+        r = Relation("R", ["a", "b"], key=["a"])
+        assert r.name == "R"
+        assert r.attributes == ("a", "b")
+        assert r.key == ("a",)
+
+    def test_attribute_set_is_frozenset(self):
+        r = Relation("R", ["a", "b"], key=["a"])
+        assert r.attribute_set == frozenset({"a", "b"})
+        assert isinstance(r.attribute_set, frozenset)
+
+    def test_key_defaults_to_empty(self):
+        r = Relation("R", ["a"])
+        assert r.key == ()
+
+    def test_composite_key(self):
+        r = Relation("R", ["a", "b", "c"], key=["a", "b"])
+        assert set(r.key) == {"a", "b"}
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("", ["a"])
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", [])
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ["a", "a"])
+
+    def test_key_must_be_subset_of_attributes(self):
+        with pytest.raises(SchemaError):
+            Relation("R", ["a"], key=["b"])
+
+    def test_str_marks_key_attributes(self):
+        r = Relation("R", ["a", "b"], key=["a"])
+        assert "a*" in str(r)
+        assert "b*" not in str(r)
+
+
+class TestForeignKey:
+    def test_basic_construction(self):
+        fk = ForeignKey("f", "Child", "Parent", {"parent_id": "id"})
+        assert fk.source == "Child"
+        assert fk.target == "Parent"
+        assert fk.source_attributes == frozenset({"parent_id"})
+        assert fk.target_attributes == frozenset({"id"})
+
+    def test_multi_column(self):
+        fk = ForeignKey("f", "C", "P", {"x1": "k1", "x2": "k2"})
+        assert fk.source_attributes == frozenset({"x1", "x2"})
+        assert fk.target_attributes == frozenset({"k1", "k2"})
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("", "C", "P", {"x": "k"})
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("f", "C", "P", {})
+
+    def test_str_rendering(self):
+        fk = ForeignKey("f1", "Bids", "Buyer", {"buyerId": "id"})
+        assert "f1" in str(fk) and "Bids" in str(fk) and "Buyer" in str(fk)
+
+
+class TestSchema:
+    def _schema(self):
+        return Schema(
+            [
+                Relation("Parent", ["id", "v"], key=["id"]),
+                Relation("Child", ["id", "pid"], key=["id"]),
+            ],
+            [ForeignKey("f", "Child", "Parent", {"pid": "id"})],
+        )
+
+    def test_lookup_by_name(self):
+        schema = self._schema()
+        assert schema.relation("Parent").name == "Parent"
+        assert schema.foreign_key("f").name == "f"
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(SchemaError):
+            self._schema().relation("Nope")
+
+    def test_unknown_foreign_key_raises(self):
+        with pytest.raises(SchemaError):
+            self._schema().foreign_key("nope")
+
+    def test_contains_and_iter(self):
+        schema = self._schema()
+        assert "Parent" in schema and "Nope" not in schema
+        assert [r.name for r in schema] == ["Parent", "Child"]
+
+    def test_attributes_helper(self):
+        assert self._schema().attributes("Child") == frozenset({"id", "pid"})
+
+    def test_foreign_keys_from(self):
+        schema = self._schema()
+        assert [fk.name for fk in schema.foreign_keys_from("Child")] == ["f"]
+        assert schema.foreign_keys_from("Parent") == ()
+
+    def test_foreign_keys_between(self):
+        schema = self._schema()
+        assert len(schema.foreign_keys_between("Child", "Parent")) == 1
+        assert schema.foreign_keys_between("Parent", "Child") == ()
+
+    def test_duplicate_relation_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Relation("R", ["a"]), Relation("R", ["b"])])
+
+    def test_duplicate_fk_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [Relation("A", ["x"]), Relation("B", ["y"])],
+                [
+                    ForeignKey("f", "A", "B", {"x": "y"}),
+                    ForeignKey("f", "B", "A", {"y": "x"}),
+                ],
+            )
+
+    def test_fk_over_unknown_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Relation("A", ["x"])], [ForeignKey("f", "A", "B", {"x": "y"})])
+
+    def test_fk_over_unknown_source_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [Relation("A", ["x"]), Relation("B", ["y"])],
+                [ForeignKey("f", "A", "B", {"nope": "y"})],
+            )
+
+    def test_fk_over_unknown_target_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                [Relation("A", ["x"]), Relation("B", ["y"])],
+                [ForeignKey("f", "A", "B", {"x": "nope"})],
+            )
+
+    def test_describe_mentions_everything(self):
+        text = self._schema().describe()
+        assert "Parent" in text and "Child" in text and "f:" in text
+
+
+class TestBenchmarkSchemas:
+    def test_smallbank_shape(self, smallbank_workload):
+        schema = smallbank_workload.schema
+        assert len(schema.relations) == 3
+        assert all(len(r.attributes) == 2 for r in schema)
+        assert len(schema.foreign_keys) == 2
+
+    def test_tpcc_shape(self, tpcc_workload):
+        schema = tpcc_workload.schema
+        assert len(schema.relations) == 9
+        sizes = sorted(len(r.attributes) for r in schema)
+        assert sizes[0] == 3 and sizes[-1] == 21
+        assert len(schema.foreign_keys) == 12
+
+    def test_auction_shape(self, auction_workload):
+        schema = auction_workload.schema
+        assert len(schema.relations) == 3
+        assert {fk.name for fk in schema.foreign_keys} == {"f1", "f2"}
+
+    def test_tpcc_customer_has_21_attributes(self, tpcc_workload):
+        assert len(tpcc_workload.schema.relation("Customer").attributes) == 21
+
+    def test_tpcc_composite_keys(self, tpcc_workload):
+        schema = tpcc_workload.schema
+        assert len(schema.relation("Customer").key) == 3
+        assert len(schema.relation("Order_Line").key) == 4
+        assert schema.relation("History").key == ()

@@ -1,0 +1,222 @@
+"""Tests for the SQL parser (AST construction)."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sqlfront.ast import (
+    And,
+    AssignStmt,
+    AttrRef,
+    BinOp,
+    CommitStmt,
+    Comparison,
+    DeleteStmt,
+    IfStmt,
+    InsertStmt,
+    Literal,
+    Not,
+    Or,
+    ParamRef,
+    RepeatStmt,
+    SelectStmt,
+    UpdateStmt,
+    data_statements,
+)
+from repro.sqlfront.parser import parse_sql
+
+
+def single(text):
+    program = parse_sql(text)
+    assert len(program.body) == 1
+    return program.body[0]
+
+
+class TestSelect:
+    def test_basic(self):
+        stmt = single("SELECT a, b FROM R WHERE k = :x;")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.relation == "R"
+        assert stmt.select_attributes() == frozenset({"a", "b"})
+
+    def test_into_clause(self):
+        stmt = single("SELECT a INTO :va FROM R WHERE k = :x;")
+        assert stmt.into == ("va",)
+
+    def test_expression_select_list(self):
+        stmt = single("SELECT Balance + :a FROM Checking WHERE k = :x;")
+        assert stmt.select_attributes() == frozenset({"Balance"})
+
+    def test_qualified_column_strips_alias(self):
+        stmt = single("SELECT old.Balance FROM S WHERE k = :x;")
+        assert stmt.select_attributes() == frozenset({"Balance"})
+
+    def test_missing_where_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT a FROM R;")
+
+
+class TestUpdate:
+    def test_basic(self):
+        stmt = single("UPDATE R SET a = a + 1 WHERE k = :x;")
+        assert isinstance(stmt, UpdateStmt)
+        assert stmt.written_attributes() == frozenset({"a"})
+        assert stmt.read_attributes() == frozenset({"a"})
+
+    def test_multiple_assignments(self):
+        stmt = single("UPDATE R SET a = :v, b = a - 1 WHERE k = :x;")
+        assert stmt.written_attributes() == frozenset({"a", "b"})
+        assert stmt.read_attributes() == frozenset({"a"})
+
+    def test_returning(self):
+        stmt = single("UPDATE R SET a = 0 WHERE k = :x RETURNING b, c INTO :b, :c;")
+        assert stmt.read_attributes() == frozenset({"b", "c"})
+        assert stmt.returning_into == ("b", "c")
+
+
+class TestInsertDelete:
+    def test_insert_with_columns(self):
+        stmt = single("INSERT INTO R (a, b) VALUES (:x, 1);")
+        assert isinstance(stmt, InsertStmt)
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.values) == 2
+
+    def test_insert_without_columns(self):
+        stmt = single("INSERT INTO R VALUES (:x, :y, :z);")
+        assert stmt.columns == ()
+        assert len(stmt.values) == 3
+
+    def test_delete(self):
+        stmt = single("DELETE FROM R WHERE k = :x;")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.relation == "R"
+
+
+class TestConditions:
+    def test_conjunction(self):
+        stmt = single("SELECT a FROM R WHERE k = :x AND a > 0;")
+        assert isinstance(stmt.where, And)
+        assert len(list(stmt.where.conjuncts())) == 2
+        assert stmt.where.attributes() == frozenset({"k", "a"})
+
+    def test_disjunction_not_pure(self):
+        stmt = single("SELECT a FROM R WHERE k = :x OR a > 0;")
+        assert isinstance(stmt.where, Or)
+        assert not stmt.where.is_pure_conjunction
+
+    def test_not_condition(self):
+        stmt = single("SELECT a FROM R WHERE NOT a = :x;")
+        assert isinstance(stmt.where, Not)
+        assert not stmt.where.is_pure_conjunction
+
+    def test_pinned_attribute(self):
+        comparison = single("SELECT a FROM R WHERE k = :x;").where
+        assert comparison.pinned_attribute() == "k"
+
+    def test_reversed_equality_pins(self):
+        comparison = single("SELECT a FROM R WHERE :x = k;").where
+        assert comparison.pinned_attribute() == "k"
+
+    def test_inequality_pins_nothing(self):
+        comparison = single("SELECT a FROM R WHERE k >= :x;").where
+        assert comparison.pinned_attribute() is None
+
+    def test_attr_to_attr_equality_pins_nothing(self):
+        comparison = single("SELECT a FROM R WHERE k = a;").where
+        assert comparison.pinned_attribute() is None
+
+    def test_arithmetic_in_condition(self):
+        stmt = single("SELECT a FROM R WHERE b >= :x - 20;")
+        assert stmt.where.attributes() == frozenset({"b"})
+
+
+class TestControlFlow:
+    def test_if_then(self):
+        program = parse_sql(
+            "IF :c < :v THEN UPDATE R SET a = 1 WHERE k = :x; END IF;"
+        )
+        (stmt,) = program.body
+        assert isinstance(stmt, IfStmt)
+        assert len(stmt.then_body) == 1 and stmt.else_body == ()
+        assert ":c < :v" == stmt.condition_text
+
+    def test_if_else(self):
+        program = parse_sql(
+            """
+            IF <by name> THEN
+                SELECT a FROM R WHERE b = :x;
+            ELSE
+                SELECT a FROM R WHERE k = :x;
+            END IF;
+            """
+        )
+        (stmt,) = program.body
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_pseudo_condition(self):
+        program = parse_sql("IF <c_credit is BC> THEN COMMIT; END IF;")
+        assert "c_credit" in program.body[0].condition_text
+
+    def test_repeat(self):
+        program = parse_sql(
+            "REPEAT SELECT a FROM R WHERE k = :x; END REPEAT;"
+        )
+        (stmt,) = program.body
+        assert isinstance(stmt, RepeatStmt)
+        assert len(stmt.body) == 1
+
+    def test_nested_control_flow(self):
+        program = parse_sql(
+            """
+            REPEAT
+                IF :z THEN DELETE FROM R WHERE k = :x; END IF;
+            END REPEAT;
+            """
+        )
+        (outer,) = program.body
+        assert isinstance(outer.body[0], IfStmt)
+
+    def test_assignment_is_raw(self):
+        program = parse_sql(":v = uniqueLogId();")
+        (stmt,) = program.body
+        assert isinstance(stmt, AssignStmt)
+        assert "uniqueLogId" in stmt.text
+
+    def test_commit(self):
+        assert isinstance(single("COMMIT;"), CommitStmt)
+
+    def test_data_statements_recursion(self):
+        program = parse_sql(
+            """
+            SELECT a FROM R WHERE k = :x;
+            REPEAT
+                UPDATE R SET a = 1 WHERE k = :x;
+                IF :c THEN INSERT INTO R (a) VALUES (1); END IF;
+            END REPEAT;
+            COMMIT;
+            """
+        )
+        assert len(list(data_statements(program.body))) == 3
+
+
+class TestErrors:
+    def test_unclosed_if_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("IF :x THEN COMMIT;")
+
+    def test_unclosed_repeat_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("REPEAT COMMIT;")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("FROB THE KNOB;")
+
+    def test_missing_comparison_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT a FROM R WHERE k;")
+
+    def test_expressions(self):
+        stmt = single("SELECT a FROM R WHERE k = (:x + 2) * 3;")
+        comparison = stmt.where
+        assert isinstance(comparison.right, BinOp)
+        assert comparison.pinned_attribute() == "k"

@@ -1,0 +1,240 @@
+"""Tests for repro.btp.statement: the seven types and Figure 5 constraints."""
+
+import pytest
+
+from repro.btp.statement import Statement, StatementType
+from repro.errors import ProgramError
+from repro.schema import Relation
+
+R = Relation("R", ["k", "a", "b"], key=["k"])
+
+
+class TestConstructors:
+    def test_insert_defaults_to_all_attributes(self):
+        q = Statement.insert("q", R)
+        assert q.stype is StatementType.INSERT
+        assert q.write_set == frozenset({"k", "a", "b"})
+        assert q.read_set is None and q.pread_set is None
+
+    def test_insert_with_explicit_columns(self):
+        q = Statement.insert("q", R, columns=["k", "a"])
+        assert q.write_set == frozenset({"k", "a"})
+
+    def test_key_select(self):
+        q = Statement.key_select("q", R, reads=["a"])
+        assert q.stype is StatementType.KEY_SELECT
+        assert q.read_set == frozenset({"a"})
+        assert q.write_set is None and q.pread_set is None
+
+    def test_key_select_empty_reads_allowed(self):
+        q = Statement.key_select("q", R, reads=[])
+        assert q.read_set == frozenset()
+        assert q.read_set is not None  # defined-but-empty, not ⊥
+
+    def test_pred_select(self):
+        q = Statement.pred_select("q", R, predicate=["a"], reads=["b"])
+        assert q.stype is StatementType.PRED_SELECT
+        assert q.pread_set == frozenset({"a"})
+        assert q.read_set == frozenset({"b"})
+
+    def test_key_update(self):
+        q = Statement.key_update("q", R, reads=["a"], writes=["a"])
+        assert q.stype is StatementType.KEY_UPDATE
+        assert q.read_set == q.write_set == frozenset({"a"})
+
+    def test_pred_update(self):
+        q = Statement.pred_update("q", R, predicate=["k"], reads=[], writes=["b"])
+        assert q.stype is StatementType.PRED_UPDATE
+        assert q.pread_set == frozenset({"k"})
+        assert q.read_set == frozenset()
+        assert q.write_set == frozenset({"b"})
+
+    def test_key_delete_writes_all_attributes(self):
+        q = Statement.key_delete("q", R)
+        assert q.stype is StatementType.KEY_DELETE
+        assert q.write_set == R.attribute_set
+
+    def test_pred_delete(self):
+        q = Statement.pred_delete("q", R, predicate=["a"])
+        assert q.stype is StatementType.PRED_DELETE
+        assert q.pread_set == frozenset({"a"})
+        assert q.write_set == R.attribute_set
+
+
+class TestFigure5Constraints:
+    """The definedness matrix of Figure 5, row by row."""
+
+    def test_insert_may_not_read(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.INSERT, "R", None, frozenset(), frozenset({"a"}))
+
+    def test_insert_may_not_predicate_read(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.INSERT, "R", frozenset(), None, frozenset({"a"}))
+
+    def test_insert_requires_writes(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.INSERT, "R", None, None, None)
+
+    def test_key_delete_requires_write_set(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.KEY_DELETE, "R", None, None, None)
+
+    def test_key_delete_may_not_have_pread(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.KEY_DELETE, "R", frozenset(), None, frozenset({"a"}))
+
+    def test_pred_delete_requires_pread(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.PRED_DELETE, "R", None, None, frozenset({"a"}))
+
+    def test_pred_delete_pread_may_be_empty(self):
+        q = Statement("q", StatementType.PRED_DELETE, "R", frozenset(), None, frozenset({"a"}))
+        assert q.pread_set == frozenset()
+
+    def test_key_select_requires_read_set(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.KEY_SELECT, "R", None, None, None)
+
+    def test_key_select_may_not_write(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.KEY_SELECT, "R", None, frozenset(), frozenset({"a"}))
+
+    def test_pred_select_requires_pread(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.PRED_SELECT, "R", None, frozenset(), None)
+
+    def test_key_update_write_set_must_be_nonempty(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.KEY_UPDATE, "R", None, frozenset(), frozenset())
+
+    def test_pred_update_write_set_must_be_nonempty(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.PRED_UPDATE, "R", frozenset(), frozenset(), frozenset())
+
+    def test_key_update_may_not_have_pread(self):
+        with pytest.raises(ProgramError):
+            Statement(
+                "q", StatementType.KEY_UPDATE, "R",
+                frozenset(), frozenset(), frozenset({"a"}),
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProgramError):
+            Statement("", StatementType.INSERT, "R", None, None, frozenset({"a"}))
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(ProgramError):
+            Statement("q", StatementType.INSERT, "", None, None, frozenset({"a"}))
+
+
+class TestTypeClassification:
+    @pytest.mark.parametrize(
+        "stype,key_based",
+        [
+            (StatementType.INSERT, True),
+            (StatementType.KEY_SELECT, True),
+            (StatementType.KEY_UPDATE, True),
+            (StatementType.KEY_DELETE, True),
+            (StatementType.PRED_SELECT, False),
+            (StatementType.PRED_UPDATE, False),
+            (StatementType.PRED_DELETE, False),
+        ],
+    )
+    def test_key_based(self, stype, key_based):
+        assert stype.is_key_based is key_based
+        assert stype.is_predicate_based is not key_based
+
+    @pytest.mark.parametrize(
+        "stype,writes",
+        [
+            (StatementType.INSERT, True),
+            (StatementType.KEY_SELECT, False),
+            (StatementType.PRED_SELECT, False),
+            (StatementType.KEY_UPDATE, True),
+            (StatementType.PRED_UPDATE, True),
+            (StatementType.KEY_DELETE, True),
+            (StatementType.PRED_DELETE, True),
+        ],
+    )
+    def test_performs_write(self, stype, writes):
+        assert stype.performs_write is writes
+
+    @pytest.mark.parametrize(
+        "stype,reads",
+        [
+            (StatementType.INSERT, False),
+            (StatementType.KEY_SELECT, True),
+            (StatementType.PRED_SELECT, True),
+            (StatementType.KEY_UPDATE, True),
+            (StatementType.PRED_UPDATE, True),
+            (StatementType.KEY_DELETE, False),
+            (StatementType.PRED_DELETE, False),
+        ],
+    )
+    def test_performs_read(self, stype, reads):
+        assert stype.performs_read is reads
+
+
+class TestSetAccessors:
+    def test_bottom_coerces_to_empty(self):
+        q = Statement.insert("q", R)
+        assert q.reads == frozenset() and q.preads == frozenset()
+        assert q.read_set is None  # the distinction is preserved
+
+    def test_defined_sets_pass_through(self):
+        q = Statement.pred_select("q", R, predicate=["a"], reads=["b"])
+        assert q.preads == frozenset({"a"})
+        assert q.reads == frozenset({"b"})
+
+
+class TestWidening:
+    def test_widening_replaces_defined_sets(self):
+        q = Statement.key_update("q", R, reads=["a"], writes=["a"])
+        wide = q.widened(R.attribute_set)
+        assert wide.read_set == R.attribute_set
+        assert wide.write_set == R.attribute_set
+        assert wide.pread_set is None  # ⊥ stays ⊥
+
+    def test_widening_empty_defined_set(self):
+        q = Statement.key_update("q", R, reads=[], writes=["a"])
+        wide = q.widened(R.attribute_set)
+        assert wide.read_set == R.attribute_set
+
+    def test_widening_preserves_identity_fields(self):
+        q = Statement.pred_select("q7", R, predicate=["a"], reads=[])
+        wide = q.widened(R.attribute_set)
+        assert wide.name == "q7" and wide.stype is q.stype and wide.relation == "R"
+
+    def test_widening_is_idempotent(self):
+        q = Statement.pred_select("q", R, predicate=["a"], reads=["b"])
+        once = q.widened(R.attribute_set)
+        assert once.widened(R.attribute_set) == once
+
+
+class TestValidateAgainst:
+    def test_valid_statement_passes(self):
+        Statement.key_select("q", R, reads=["a"]).validate_against(R)
+
+    def test_wrong_relation_rejected(self):
+        other = Relation("S", ["x"], key=["x"])
+        with pytest.raises(ProgramError):
+            Statement.key_select("q", R, reads=["a"]).validate_against(other)
+
+    def test_unknown_attribute_rejected(self):
+        q = Statement("q", StatementType.KEY_SELECT, "R", None, frozenset({"nope"}), None)
+        with pytest.raises(ProgramError):
+            q.validate_against(R)
+
+    def test_delete_must_write_all_attributes(self):
+        q = Statement("q", StatementType.KEY_DELETE, "R", None, None, frozenset({"a"}))
+        with pytest.raises(ProgramError):
+            q.validate_against(R)
+
+    def test_insert_subset_allowed(self):
+        # Figure 17 restricts insert WriteSets to the supplied columns.
+        Statement.insert("q", R, columns=["a"]).validate_against(R)
+
+    def test_str_shows_bottom(self):
+        q = Statement.key_select("q", R, reads=["a"])
+        assert "⊥" in str(q)

@@ -1,0 +1,70 @@
+"""Tests for repro.summary.tables: verbatim transcription of Table 1."""
+
+import pytest
+
+from repro.btp.statement import StatementType as T
+from repro.summary.tables import C_DEP_TABLE, NC_DEP_TABLE, TYPE_ORDER
+
+# Expected entries, written in the paper's row/column order:
+# ins, key sel, pred sel, key upd, pred upd, key del, pred del.
+_B = None  # ⊥
+
+NC_EXPECTED = {
+    T.INSERT: (False, _B, True, _B, True, _B, True),
+    T.KEY_SELECT: (False, False, False, _B, _B, _B, _B),
+    T.PRED_SELECT: (True, False, False, _B, _B, True, True),
+    T.KEY_UPDATE: (False, _B, _B, _B, _B, _B, _B),
+    T.PRED_UPDATE: (True, _B, _B, _B, _B, True, True),
+    T.KEY_DELETE: (False, False, True, False, True, False, True),
+    T.PRED_DELETE: (True, False, True, _B, True, True, True),
+}
+
+C_EXPECTED = {
+    T.INSERT: (False, False, False, False, False, False, False),
+    T.KEY_SELECT: (False, False, False, _B, _B, _B, _B),
+    T.PRED_SELECT: (True, False, False, _B, _B, True, True),
+    T.KEY_UPDATE: (False, False, False, False, False, False, False),
+    T.PRED_UPDATE: (True, False, False, _B, _B, True, True),
+    T.KEY_DELETE: (False, False, False, False, False, False, False),
+    T.PRED_DELETE: (True, False, False, _B, _B, True, True),
+}
+
+ALL_PAIRS = [(row, col) for row in TYPE_ORDER for col in TYPE_ORDER]
+
+
+@pytest.mark.parametrize("row,col", ALL_PAIRS, ids=lambda t: t.value if hasattr(t, "value") else str(t))
+def test_nc_dep_table_entry(row, col):
+    expected = NC_EXPECTED[row][TYPE_ORDER.index(col)]
+    assert NC_DEP_TABLE[(row, col)] is expected
+
+
+@pytest.mark.parametrize("row,col", ALL_PAIRS, ids=lambda t: t.value if hasattr(t, "value") else str(t))
+def test_c_dep_table_entry(row, col):
+    expected = C_EXPECTED[row][TYPE_ORDER.index(col)]
+    assert C_DEP_TABLE[(row, col)] is expected
+
+
+def test_tables_are_total():
+    assert len(NC_DEP_TABLE) == 49
+    assert len(C_DEP_TABLE) == 49
+
+
+def test_counterflow_requires_reader_source():
+    """Lemma 4.1: only statements with a (predicate) read can be counterflow sources."""
+    for (row, _col), entry in C_DEP_TABLE.items():
+        if entry is not False:
+            assert row in (T.KEY_SELECT, T.PRED_SELECT, T.PRED_UPDATE, T.PRED_DELETE)
+
+
+def test_counterflow_requires_writing_target():
+    """Counterflow rw-antidependencies point at writes."""
+    for (_row, col), entry in C_DEP_TABLE.items():
+        if entry is not False:
+            assert col.performs_write
+
+
+def test_counterflow_possible_implies_nc_possible_for_writer_targets():
+    """Wherever a counterflow edge can exist, a non-counterflow one can too."""
+    for pair, entry in C_DEP_TABLE.items():
+        if entry is True:
+            assert NC_DEP_TABLE[pair] in (True, None)

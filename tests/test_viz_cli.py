@@ -1,0 +1,100 @@
+"""Tests for visualization and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.summary.settings import ATTR_DEP_FK
+from repro.viz import to_dot, to_text
+
+
+class TestDot:
+    def test_valid_dotish_output(self, auction_workload):
+        dot = to_dot(auction_workload.summary_graph(ATTR_DEP_FK))
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"FindBids"' in dot and '"PlaceBid#1"' in dot
+
+    def test_counterflow_edges_dashed(self, auction_workload):
+        dot = to_dot(auction_workload.summary_graph(ATTR_DEP_FK))
+        assert "style=dashed" in dot
+
+    def test_labels_can_be_disabled(self, auction_workload):
+        dot = to_dot(
+            auction_workload.summary_graph(ATTR_DEP_FK), include_labels=False
+        )
+        assert "label=" not in dot.split("];")[-1] or "q" not in dot.split("->")[1]
+
+    def test_label_truncation(self, tpcc_workload):
+        dot = to_dot(tpcc_workload.summary_graph(ATTR_DEP_FK), max_label_pairs=2)
+        assert "…" in dot
+
+    def test_empty_program_marked(self, tpcc_workload):
+        dot = to_dot(tpcc_workload.summary_graph(ATTR_DEP_FK))
+        assert "(ε)" in dot
+
+
+class TestText:
+    def test_adjacency_listing(self, auction_workload):
+        text = to_text(auction_workload.summary_graph(ATTR_DEP_FK))
+        assert "FindBids" in text
+        assert "-->" in text  # the counterflow edge
+        assert "q2→q5" in text
+
+    def test_statements_can_be_hidden(self, auction_workload):
+        text = to_text(auction_workload.summary_graph(ATTR_DEP_FK), show_statements=False)
+        assert "q2→q5" not in text
+
+
+class TestCli:
+    def test_analyze(self, capsys):
+        assert main(["analyze", "auction"]) == 0
+        out = capsys.readouterr().out
+        assert "robust against MVRC (Algorithm 2, type-II cycles): True" in out
+
+    def test_analyze_subset(self, capsys):
+        assert main(["analyze", "smallbank", "--subset", "Balance,DepositChecking"]) == 0
+        out = capsys.readouterr().out
+        assert "True" in out
+
+    def test_analyze_with_setting(self, capsys):
+        assert main(["analyze", "auction", "--setting", "attr dep"]) == 0
+        out = capsys.readouterr().out
+        assert "False" in out
+
+    def test_subsets_command(self, capsys):
+        assert main(["subsets", "smallbank"]) == 0
+        out = capsys.readouterr().out
+        assert "{Am, DC, TS}" in out
+
+    def test_subsets_type1(self, capsys):
+        assert main(["subsets", "smallbank", "--method", "type-I"]) == 0
+        out = capsys.readouterr().out
+        assert "{Bal}" in out
+
+    def test_graph_text(self, capsys):
+        assert main(["graph", "auction"]) == 0
+        assert "FindBids" in capsys.readouterr().out
+
+    def test_graph_dot(self, capsys):
+        assert main(["graph", "auction", "--format", "dot"]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_experiments_table2(self, capsys):
+        assert main(["experiments", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "396 (83)" in out and "MISMATCH" not in out
+
+    def test_scaled_workload(self, capsys):
+        assert main(["analyze", "auction(2)"]) == 0
+        assert "Auction(2)" in capsys.readouterr().out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ValueError):
+            main(["analyze", "nope"])
+
+    def test_experiments_figure8_small(self, capsys):
+        assert main(
+            ["experiments", "figure8", "--scales", "1", "2", "--repetitions", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "MISMATCH" not in out
