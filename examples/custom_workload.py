@@ -9,12 +9,12 @@ Run with:  python examples/custom_workload.py
 
 from repro import (
     ATTR_DEP_FK,
+    Analyzer,
     BTP,
     FKConstraint,
     ForeignKey,
     Relation,
     Schema,
-    analyze,
 )
 from repro.sqlfront import parse_program
 from repro.viz import to_dot
@@ -77,15 +77,18 @@ cancel_booking = BTP(
 )
 
 programs = [book_seats, list_availability, cancel_booking]
-report = analyze(programs, schema, ATTR_DEP_FK)
+session = Analyzer(programs, schema=schema, name="ticketing")
+report = session.analyze(ATTR_DEP_FK)
 print(report.describe())
 print()
 
 if not report.robust:
     print("The full workload is not (detectably) robust; checking pairs:")
-    from repro.detection.subsets import maximal_robust_subsets, format_subsets
+    from repro.detection.subsets import format_subsets
 
-    subsets = maximal_robust_subsets(programs, schema, ATTR_DEP_FK)
+    # The session reuses the summary graph it already built for the report,
+    # so enumerating all subsets costs only the cycle checks.
+    subsets = session.maximal_robust_subsets(ATTR_DEP_FK)
     print("maximal robust subsets:", format_subsets(subsets))
     print()
 

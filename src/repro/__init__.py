@@ -10,10 +10,21 @@ The library decides, by static analysis, whether a set of transaction
 programs can be executed under isolation level *multi-version Read
 Committed* while still guaranteeing serializability.  Quick start::
 
-    from repro import workloads
+    from repro import Analyzer
 
-    report = workloads.auction().analyze()
-    print(report)          # robust: True — safe to run under MVRC
+    session = Analyzer("auction")          # or "tpcc", "auction(5)", a
+    report = session.analyze()             # workload file/text, or BTPs
+    print(report)                          # robust: True — safe under MVRC
+    print(report.to_json(indent=2))        # machine-readable report
+
+    matrix = session.analyze_matrix()      # all four Section 7.2 settings
+    maximal = session.maximal_robust_subsets()   # reuses cached stages
+
+The :class:`Analyzer` session memoizes each pipeline stage (unfold →
+Algorithm 1 → Algorithm 2), so multi-setting comparisons and subset
+enumeration never repeat the expensive work; the one-shot
+:func:`analyze` remains for single reports.  On the command line, the same
+surface is ``repro analyze auction --json`` (see ``repro --help``).
 
 See :mod:`repro.btp` for the program formalism, :mod:`repro.summary` for
 summary-graph construction (Algorithm 1), :mod:`repro.detection` for the
@@ -23,6 +34,7 @@ and :mod:`repro.engine` for the multiversion-schedule substrate, and
 """
 
 from repro import workloads
+from repro.analysis import AnalysisMatrix, Analyzer
 from repro.btp import (
     BTP,
     FKConstraint,
@@ -63,14 +75,19 @@ from repro.summary import (
     Granularity,
     SummaryEdge,
     SummaryGraph,
+    SummaryStats,
     build_summary_graph,
     construct_summary_graph,
 )
+from repro.workloads import Workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # analysis sessions
+    "Analyzer",
+    "AnalysisMatrix",
     # schema
     "Schema",
     "Relation",
@@ -89,6 +106,7 @@ __all__ = [
     # summary graphs
     "SummaryGraph",
     "SummaryEdge",
+    "SummaryStats",
     "build_summary_graph",
     "construct_summary_graph",
     "AnalysisSettings",
@@ -108,6 +126,7 @@ __all__ = [
     "CycleWitness",
     # workloads
     "workloads",
+    "Workload",
     # errors
     "ReproError",
     "SchemaError",

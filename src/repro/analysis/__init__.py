@@ -1,0 +1,15 @@
+"""Staged, cache-aware analysis sessions (the recommended entry point).
+
+:class:`Analyzer` wraps the paper's pipeline — validate → unfold
+(Proposition 6.1) → summary graph (Algorithm 1) → cycle detection
+(Algorithm 2 / type-I) — behind per-stage memoization, so analysing the
+same workload under several settings, over program subsets, or through
+:meth:`Analyzer.robust_subsets` never repeats the expensive stages.
+:class:`AnalysisMatrix` bundles the reports for all four Section 7.2
+settings; both it and :class:`~repro.detection.api.RobustnessReport` are
+machine-readable via ``to_dict``/``to_json``/``from_dict``.
+"""
+
+from repro.analysis.session import AnalysisMatrix, Analyzer
+
+__all__ = ["Analyzer", "AnalysisMatrix"]

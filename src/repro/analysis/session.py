@@ -1,0 +1,305 @@
+"""The staged, cache-aware analysis session.
+
+The paper's pipeline has three stages — unfold (``Unfold≤k``, Proposition
+6.1), summary-graph construction (Algorithm 1) and cycle detection
+(Algorithm 2 / the type-I baseline) — of which the first two dominate the
+cost and depend only on (program subset, ``max_loop_iterations``, settings).
+:class:`Analyzer` memoizes them per stage:
+
+* each BTP is unfolded **once** per session, whatever subsets it appears in;
+* the summary graph over the *full* program set is built **once per
+  settings**; every subset's graph is the induced subgraph (Algorithm 1 adds
+  edges per ordered pair of programs, so restriction is exact — see
+  :meth:`repro.summary.graph.SummaryGraph.restricted_to`);
+* reports are cached per (settings, subset).
+
+This turns :meth:`Analyzer.robust_subsets` from exponentially many *full
+pipeline* runs into one pipeline run plus exponentially many *cheap* cycle
+checks, and makes :meth:`Analyzer.analyze_matrix` (all four settings of
+Section 7.2) reuse the unfolding across rows.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.btp.ltp import LTP
+from repro.btp.unfold import unfold_program
+from repro.detection.api import RobustnessReport
+from repro.detection.subsets import (
+    Method,
+    _resolve_method,
+    enumerate_robust_subsets,
+    maximal_subsets,
+)
+from repro.detection.typei import find_type1_violation
+from repro.detection.typeii import find_type2_violation
+from repro.errors import ProgramError
+from repro.schema import Schema
+from repro.summary.construct import construct_summary_graph
+from repro.summary.graph import SummaryGraph
+from repro.summary.settings import ALL_SETTINGS, AnalysisSettings
+from repro.workloads.base import Workload, WorkloadSource
+
+
+@dataclass(frozen=True)
+class AnalysisMatrix:
+    """One :class:`RobustnessReport` per analysis setting (a Figure 6/7 row
+    group): the result of :meth:`Analyzer.analyze_matrix`."""
+
+    workload: str
+    reports: tuple[RobustnessReport, ...]
+
+    def report(self, settings: AnalysisSettings | str) -> RobustnessReport:
+        """The report for one setting (by instance or Figure 6/7 label)."""
+        label = settings if isinstance(settings, str) else settings.label
+        for report in self.reports:
+            if report.settings.label == label:
+                return report
+        raise KeyError(f"no report for settings {label!r}")
+
+    @property
+    def settings_labels(self) -> tuple[str, ...]:
+        return tuple(report.settings.label for report in self.reports)
+
+    def verdicts(self) -> dict[str, bool]:
+        """Settings label → Algorithm 2 verdict."""
+        return {report.settings.label: report.robust for report in self.reports}
+
+    def describe(self) -> str:
+        """A compact verdict table over all settings."""
+        width = max(len(label) for label in self.settings_labels)
+        lines = [f"workload: {self.workload}"]
+        for report in self.reports:
+            lines.append(
+                f"  {report.settings.label:<{width}}  "
+                f"type-II robust: {str(report.robust):<5}  "
+                f"type-I robust: {report.type1_robust}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AnalysisMatrix":
+        return cls(
+            workload=data["workload"],
+            reports=tuple(RobustnessReport.from_dict(item) for item in data["reports"]),
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+class Analyzer:
+    """A resumable analysis session over one workload.
+
+    Construct it from anything :meth:`Workload.resolve` accepts::
+
+        from repro.analysis import Analyzer
+
+        session = Analyzer("smallbank")               # built-in
+        session = Analyzer("auction(5)")              # scaled built-in
+        session = Analyzer("my.workload")             # workload file
+        session = Analyzer(text)                      # raw workload text
+        session = Analyzer(programs, schema=schema)   # programmatic BTPs
+
+    then stage results are computed on demand and memoized::
+
+        report = session.analyze()                    # 'attr dep + FK'
+        matrix = session.analyze_matrix()             # all four settings
+        maximal = session.maximal_robust_subsets()    # reuses the graph
+
+    Sessions are not thread-safe; share the workload, not the session.
+    """
+
+    def __init__(
+        self,
+        source: WorkloadSource,
+        *,
+        schema: Schema | None = None,
+        name: str | None = None,
+        max_loop_iterations: int = 2,
+    ):
+        self.workload = Workload.resolve(source, schema=schema, name=name)
+        self.max_loop_iterations = max_loop_iterations
+        self._ltps_by_program: dict[str, tuple[LTP, ...]] = {}
+        self._graphs: dict[tuple[AnalysisSettings, frozenset[str]], SummaryGraph] = {}
+        self._reports: dict[tuple[AnalysisSettings, frozenset[str]], RobustnessReport] = {}
+
+    # -- workload accessors -------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self.workload.schema
+
+    @property
+    def program_names(self) -> tuple[str, ...]:
+        return self.workload.program_names
+
+    def _subset_names(self, subset: Iterable[str] | None) -> tuple[str, ...]:
+        """Validated subset in workload program order (full set when None)."""
+        if subset is None:
+            return self.program_names
+        wanted = set(subset)
+        unknown = wanted - set(self.program_names)
+        if unknown:
+            raise ProgramError(
+                f"workload {self.workload.name!r}: unknown programs {sorted(unknown)!r}"
+            )
+        return tuple(name for name in self.program_names if name in wanted)
+
+    def _label(self, names: Sequence[str]) -> str:
+        if set(names) == set(self.program_names):
+            return self.workload.name
+        return f"{self.workload.name}[{','.join(sorted(names))}]"
+
+    # -- stage 1: unfolding -------------------------------------------------
+    def unfolded(self, subset: Iterable[str] | None = None) -> tuple[LTP, ...]:
+        """``Unfold≤k`` of the subset's programs, unfolding each BTP once."""
+        ltps: list[LTP] = []
+        for name in self._subset_names(subset):
+            if name not in self._ltps_by_program:
+                self._ltps_by_program[name] = unfold_program(
+                    self.workload.program(name), self.max_loop_iterations
+                )
+            ltps.extend(self._ltps_by_program[name])
+        return tuple(ltps)
+
+    # -- stage 2: summary-graph construction --------------------------------
+    def summary_graph(
+        self,
+        settings: AnalysisSettings = AnalysisSettings(),
+        subset: Iterable[str] | None = None,
+    ) -> SummaryGraph:
+        """Algorithm 1's graph, from cache or by restricting the full graph.
+
+        A subset graph is derived from the full graph only when the latter
+        is already cached (restriction is exact, see
+        :meth:`SummaryGraph.restricted_to`); otherwise Algorithm 1 runs over
+        just the subset's LTPs, so a one-shot subset query never pays for
+        programs outside it.
+        """
+        names = self._subset_names(subset)
+        key = (settings, frozenset(names))
+        cached = self._graphs.get(key)
+        if cached is not None:
+            return cached
+        full = self._graphs.get((settings, frozenset(self.program_names)))
+        if full is not None:
+            graph = full.restricted_to(ltp.name for ltp in self.unfolded(names))
+        else:
+            graph = construct_summary_graph(self.unfolded(names), self.schema, settings)
+        self._graphs[key] = graph
+        return graph
+
+    # -- stage 3: cycle detection -------------------------------------------
+    def analyze(
+        self,
+        settings: AnalysisSettings = AnalysisSettings(),
+        subset: Iterable[str] | None = None,
+    ) -> RobustnessReport:
+        """Both detection methods over the (cached) summary graph."""
+        names = self._subset_names(subset)
+        key = (settings, frozenset(names))
+        cached = self._reports.get(key)
+        if cached is not None:
+            return cached
+        graph = self.summary_graph(settings, names)
+        witness = find_type2_violation(graph)
+        type1_witness = find_type1_violation(graph)
+        report = RobustnessReport(
+            settings=settings,
+            graph=graph,
+            robust=witness is None,
+            type1_robust=type1_witness is None,
+            witness=witness,
+            type1_witness=type1_witness,
+            workload=self._label(names),
+        )
+        self._reports[key] = report
+        return report
+
+    def analyze_matrix(self, subset: Iterable[str] | None = None) -> AnalysisMatrix:
+        """One report per setting of Section 7.2, sharing the unfolding."""
+        names = self._subset_names(subset)
+        return AnalysisMatrix(
+            workload=self._label(names),
+            reports=tuple(self.analyze(settings, names) for settings in ALL_SETTINGS),
+        )
+
+    def is_robust(
+        self,
+        settings: AnalysisSettings = AnalysisSettings(),
+        subset: Iterable[str] | None = None,
+        method: str | Method = "type-II",
+    ) -> bool:
+        """The bare verdict of one detection method (cache-backed)."""
+        return _resolve_method(method)(self.summary_graph(settings, subset))
+
+    # -- subset enumeration -------------------------------------------------
+    def robust_subsets(
+        self,
+        settings: AnalysisSettings = AnalysisSettings(),
+        method: str | Method = "type-II",
+    ) -> dict[frozenset[str], bool]:
+        """Robustness verdict for every non-empty subset of the programs.
+
+        Same contract as :func:`repro.detection.subsets.robust_subsets`, but
+        unfolding and Algorithm 1 run at most once per (settings, full
+        program set): each candidate subset costs only an induced-subgraph
+        restriction plus a cycle check.  Subsets of attested-robust sets
+        still inherit robustness without testing (Proposition 5.2).
+        """
+        check = _resolve_method(method)
+        full = self.summary_graph(settings)
+        ltp_names = {
+            name: tuple(ltp.name for ltp in self._ltps_by_program[name])
+            for name in self.program_names
+        }
+        all_names = frozenset(self.program_names)
+
+        def check_combo(combo: tuple[str, ...]) -> bool:
+            if frozenset(combo) == all_names:
+                return check(full)
+            keep = [ltp for name in combo for ltp in ltp_names[name]]
+            return check(full.restricted_to(keep))
+
+        return enumerate_robust_subsets(self.program_names, check_combo)
+
+    def maximal_robust_subsets(
+        self,
+        settings: AnalysisSettings = AnalysisSettings(),
+        method: str | Method = "type-II",
+    ) -> tuple[frozenset[str], ...]:
+        """The maximal robust subsets, largest first (as in Figures 6/7)."""
+        return maximal_subsets(self.robust_subsets(settings, method))
+
+    # -- cache management ---------------------------------------------------
+    def cache_info(self) -> dict[str, int]:
+        """Entry counts per memoized stage (for tests and diagnostics)."""
+        return {
+            "unfolded_programs": len(self._ltps_by_program),
+            "summary_graphs": len(self._graphs),
+            "reports": len(self._reports),
+        }
+
+    def clear_cache(self) -> None:
+        """Drop all memoized stages (results are recomputed on demand)."""
+        self._ltps_by_program.clear()
+        self._graphs.clear()
+        self._reports.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Analyzer({self.workload.name!r}, programs={len(self.program_names)}, "
+            f"max_loop_iterations={self.max_loop_iterations})"
+        )

@@ -2,47 +2,52 @@
 
 Commands:
 
-* ``analyze <workload> [--setting LABEL] [--subset P1,P2]`` — robustness
-  report for a built-in workload (``smallbank``, ``tpcc``, ``auction``,
-  ``auction(N)``) or a subset of its programs;
-* ``subsets <workload> [--setting LABEL] [--method type-II|type-I]`` —
-  maximal robust subsets;
-* ``graph <workload> [--setting LABEL] [--format dot|text]`` — summary
-  graph rendering;
+* ``analyze <workload> [--setting LABEL] [--subset P1,P2] [--all-settings]
+  [--json]`` — robustness report for a built-in workload (``smallbank``,
+  ``tpcc``, ``auction``, ``auction(N)``), a workload file, or a subset of
+  its programs; ``--all-settings`` reports all four Section 7.2 settings;
+* ``subsets <workload> [--setting LABEL] [--method type-II|type-I]
+  [--json]`` — maximal robust subsets;
+* ``graph <workload> [--setting LABEL] [--format dot|text] [--json]`` —
+  summary graph rendering;
 * ``experiments <table2|figure6|figure7|figure8|false-negatives|all>`` —
   regenerate the paper's evaluation artifacts.
+
+All commands accept any workload source :meth:`Workload.resolve` does.
+``--json`` emits machine-readable reports (``RobustnessReport.to_dict``
+shapes) for embedding in CI pipelines; errors (unknown workloads, missing
+files, malformed workload text) print to stderr and exit with status 2.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
+from repro.analysis.session import Analyzer
+from repro.errors import ReproError
 from repro.experiments.false_negatives import run_false_negatives
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.table2 import run_table2
-from repro.detection.subsets import format_subsets, maximal_robust_subsets
+from repro.detection.subsets import format_subsets
 from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK, AnalysisSettings
 from repro.viz import to_dot, to_text
-from repro.workloads import get_workload, load_workload
-
-
-def _resolve_workload(argument: str):
-    """A built-in workload name, ``auction(N)``, or a workload file path."""
-    from pathlib import Path
-
-    if Path(argument).is_file():
-        return load_workload(argument)
-    return get_workload(argument)
 
 
 def _settings_from(label: str | None) -> AnalysisSettings:
     if label is None:
         return ATTR_DEP_FK
     return AnalysisSettings.from_label(label)
+
+
+def _subset_from(argument: str | None) -> list[str] | None:
+    if argument is None:
+        return None
+    return [name.strip() for name in argument.split(",")]
 
 
 def _add_setting_argument(parser: argparse.ArgumentParser) -> None:
@@ -53,32 +58,67 @@ def _add_setting_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    workload = _resolve_workload(args.workload)
-    if args.subset:
-        workload = workload.subset([name.strip() for name in args.subset.split(",")])
-    report = workload.analyze(_settings_from(args.setting))
-    print(f"workload: {workload.name}")
-    print(report.describe())
+    session = Analyzer(args.workload)
+    subset = _subset_from(args.subset)
+    if args.all_settings:
+        matrix = session.analyze_matrix(subset)
+        if args.json:
+            print(matrix.to_json(indent=2))
+        else:
+            print(matrix.describe())
+        return 0
+    report = session.analyze(_settings_from(args.setting), subset)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(f"workload: {report.workload}")
+        print(report.describe())
     return 0
 
 
 def _cmd_subsets(args: argparse.Namespace) -> int:
-    workload = _resolve_workload(args.workload)
+    session = Analyzer(args.workload)
     settings = _settings_from(args.setting)
-    subsets = maximal_robust_subsets(
-        workload.programs, workload.schema, settings, args.method
+    subsets = session.maximal_robust_subsets(settings, args.method)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workload": session.workload.name,
+                    "settings": settings.label,
+                    "method": args.method,
+                    "maximal_robust_subsets": [sorted(subset) for subset in subsets],
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(
+        f"workload: {session.workload.name}   setting: {settings.label}   "
+        f"method: {args.method}"
     )
-    print(f"workload: {workload.name}   setting: {settings.label}   method: {args.method}")
-    print("maximal robust subsets:", format_subsets(subsets, dict(workload.abbreviations)) or "(none)")
+    print(
+        "maximal robust subsets:",
+        format_subsets(subsets, dict(session.workload.abbreviations)) or "(none)",
+    )
     return 0
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
-    workload = _resolve_workload(args.workload)
-    graph = workload.summary_graph(_settings_from(args.setting))
-    if args.format == "dot":
-        print(to_dot(graph, name=workload.name))
+    session = Analyzer(args.workload)
+    graph = session.summary_graph(_settings_from(args.setting))
+    if args.json:
+        data = {"workload": session.workload.name, **graph.to_dict()}
+        print(json.dumps(data, indent=2))
+    elif args.format == "dot":
+        print(to_dot(graph, name=session.workload.name))
     else:
         print(to_text(graph))
     return 0
@@ -104,10 +144,15 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Robustness against MVRC for transaction programs "
         "(reproduction of Vandevoort et al., EDBT 2023)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -116,19 +161,27 @@ def build_parser() -> argparse.ArgumentParser:
         "workload", help="smallbank | tpcc | auction | auction(N) | path to a workload file"
     )
     analyze.add_argument("--subset", help="comma-separated program names")
+    analyze.add_argument(
+        "--all-settings",
+        action="store_true",
+        help="analyze under all four Section 7.2 settings",
+    )
     _add_setting_argument(analyze)
+    _add_json_argument(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     subsets = subparsers.add_parser("subsets", help="maximal robust subsets")
     subsets.add_argument("workload")
     subsets.add_argument("--method", choices=["type-II", "type-I"], default="type-II")
     _add_setting_argument(subsets)
+    _add_json_argument(subsets)
     subsets.set_defaults(func=_cmd_subsets)
 
     graph = subparsers.add_parser("graph", help="render the summary graph")
     graph.add_argument("workload")
     graph.add_argument("--format", choices=["dot", "text"], default="text")
     _add_setting_argument(graph)
+    _add_json_argument(graph)
     graph.set_defaults(func=_cmd_graph)
 
     experiments = subparsers.add_parser(
@@ -149,7 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, ValueError, OSError) as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

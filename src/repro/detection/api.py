@@ -1,48 +1,62 @@
 """High-level robustness analysis API.
 
-:func:`analyze` is the main entry point a downstream user calls: it takes a
-set of BTPs plus their schema, runs both detection methods under the chosen
-settings, and returns a :class:`RobustnessReport` bundling the verdicts,
-summary-graph statistics, and a dangerous-cycle witness when one exists.
+:func:`analyze` is the classic one-shot entry point: it takes a set of BTPs
+plus their schema, runs both detection methods under the chosen settings,
+and returns a :class:`RobustnessReport`.  It is a thin wrapper over the
+staged, cache-aware :class:`repro.analysis.Analyzer` session — use the
+session directly when analysing the same programs under several settings
+or enumerating subsets, so unfolding and summary-graph construction are
+paid only once.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.btp.program import BTP
-from repro.btp.unfold import unfold
-from repro.detection.typei import find_type1_violation
-from repro.detection.typeii import find_type2_violation
 from repro.detection.witness import CycleWitness
 from repro.schema import Schema
-from repro.summary.construct import construct_summary_graph
-from repro.summary.graph import SummaryGraph
+from repro.summary.graph import SummaryGraph, SummaryStats
 from repro.summary.settings import AnalysisSettings
 
 
 @dataclass(frozen=True)
 class RobustnessReport:
-    """The result of analysing a workload for robustness against MVRC."""
+    """The result of analysing a workload for robustness against MVRC.
+
+    ``graph`` carries the full :class:`SummaryGraph` when the report was
+    produced by an analysis run; it is ``None`` on reports deserialized via
+    :meth:`from_dict` (the graph's LTP nodes are not serialized — only the
+    ``stats`` are, which is all :meth:`describe` needs).
+    """
 
     settings: AnalysisSettings
-    graph: SummaryGraph
+    graph: SummaryGraph | None
     robust: bool
     type1_robust: bool
     witness: CycleWitness | None
     type1_witness: CycleWitness | None
+    workload: str | None = None
+    stats: SummaryStats | None = None
+
+    def __post_init__(self) -> None:
+        if self.stats is None:
+            if self.graph is None:
+                raise ValueError("a report needs a summary graph or its stats")
+            object.__setattr__(self, "stats", self.graph.stats)
 
     @property
     def program_count(self) -> int:
         """Number of unfolded LTP nodes in the summary graph."""
-        return len(self.graph)
+        return self.stats.nodes
 
     def describe(self) -> str:
         """Human-readable multi-line report."""
         lines = [
             f"settings: {self.settings.label}",
-            self.graph.describe(),
+            self.stats.describe(),
             f"robust against MVRC (Algorithm 2, type-II cycles): {self.robust}",
             f"robust per Alomari & Fekete [3] (type-I cycles):   {self.type1_robust}",
         ]
@@ -56,6 +70,43 @@ class RobustnessReport:
             lines.append(self.type1_witness.describe())
         return "\n".join(lines)
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-compatible dict; round-trips through :meth:`from_dict`."""
+        return {
+            "workload": self.workload,
+            "settings": self.settings.label,
+            "robust": self.robust,
+            "type1_robust": self.type1_robust,
+            "graph": self.stats.to_dict(),
+            "witness": self.witness.to_dict() if self.witness else None,
+            "type1_witness": self.type1_witness.to_dict() if self.type1_witness else None,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RobustnessReport":
+        """Rebuild a report from :meth:`to_dict` output (``graph`` is ``None``)."""
+        return cls(
+            settings=AnalysisSettings.from_label(data["settings"]),
+            graph=None,
+            robust=bool(data["robust"]),
+            type1_robust=bool(data["type1_robust"]),
+            witness=CycleWitness.from_dict(data["witness"]) if data.get("witness") else None,
+            type1_witness=(
+                CycleWitness.from_dict(data["type1_witness"])
+                if data.get("type1_witness")
+                else None
+            ),
+            workload=data.get("workload"),
+            stats=SummaryStats.from_dict(data["graph"]),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RobustnessReport":
+        return cls.from_dict(json.loads(text))
+
     def __str__(self) -> str:
         return self.describe()
 
@@ -67,17 +118,7 @@ def analyze(
     max_loop_iterations: int = 2,
 ) -> RobustnessReport:
     """Run the full pipeline: validate, unfold, build ``SuG``, detect cycles."""
-    for program in programs:
-        program.validate_against(schema)
-    ltps = unfold(programs, max_loop_iterations)
-    graph = construct_summary_graph(ltps, schema, settings)
-    witness = find_type2_violation(graph)
-    type1_witness = find_type1_violation(graph)
-    return RobustnessReport(
-        settings=settings,
-        graph=graph,
-        robust=witness is None,
-        type1_robust=type1_witness is None,
-        witness=witness,
-        type1_witness=type1_witness,
-    )
+    from repro.analysis.session import Analyzer  # deferred: avoids an import cycle
+
+    session = Analyzer(programs, schema=schema, max_loop_iterations=max_loop_iterations)
+    return session.analyze(settings)

@@ -53,24 +53,23 @@ def is_robust(
     return _resolve_method(method)(graph)
 
 
-def robust_subsets(
-    programs: Sequence[BTP],
-    schema: Schema,
-    settings: AnalysisSettings = AnalysisSettings(),
-    method: str | Method = "type-II",
+def enumerate_robust_subsets(
+    names: Iterable[str],
+    check_combo: Callable[[tuple[str, ...]], bool],
 ) -> dict[frozenset[str], bool]:
-    """Robustness verdict for every non-empty subset of the programs.
+    """The anti-monotone enumeration shared by the one-shot path and the
+    :class:`repro.analysis.Analyzer` session.
 
-    Subsets are keyed by the frozenset of program (BTP) names.  Subsets of
-    attested-robust sets inherit robustness without re-testing
-    (Proposition 5.2).
+    Walks subsets of ``names`` in decreasing size; subsets of attested-robust
+    sets inherit robustness without calling ``check_combo`` (Proposition
+    5.2).  ``check_combo`` decides robustness for one candidate combination
+    — by running the full pipeline (one-shot path) or by restricting a
+    cached summary graph (session path).
     """
-    check = _resolve_method(method)
-    by_name = {program.name: program for program in programs}
-    names = sorted(by_name)
+    ordered = sorted(names)
     verdicts: dict[frozenset[str], bool] = {}
-    for size in range(len(names), 0, -1):
-        for combo in itertools.combinations(names, size):
+    for size in range(len(ordered), 0, -1):
+        for combo in itertools.combinations(ordered, size):
             subset = frozenset(combo)
             if any(
                 subset < other and robust
@@ -79,11 +78,46 @@ def robust_subsets(
             ):
                 verdicts[subset] = True
                 continue
-            graph = construct_summary_graph(
-                unfold([by_name[name] for name in combo]), schema, settings
-            )
-            verdicts[subset] = check(graph)
+            verdicts[subset] = check_combo(combo)
     return verdicts
+
+
+def maximal_subsets(
+    verdicts: dict[frozenset[str], bool]
+) -> tuple[frozenset[str], ...]:
+    """The maximal robust subsets of a verdict grid, largest first."""
+    robust = [subset for subset, ok in verdicts.items() if ok]
+    maximal = [
+        subset
+        for subset in robust
+        if not any(subset < other for other in robust)
+    ]
+    return tuple(sorted(maximal, key=lambda s: (-len(s), sorted(s))))
+
+
+def robust_subsets(
+    programs: Sequence[BTP],
+    schema: Schema,
+    settings: AnalysisSettings = AnalysisSettings(),
+    method: str | Method = "type-II",
+) -> dict[frozenset[str], bool]:
+    """Robustness verdict for every non-empty subset of the programs.
+
+    Subsets are keyed by the frozenset of program (BTP) names.  Every tested
+    subset pays the full pipeline (unfold + Algorithm 1); prefer
+    :meth:`repro.analysis.Analyzer.robust_subsets`, which builds the summary
+    graph once and restricts it per subset.
+    """
+    check = _resolve_method(method)
+    by_name = {program.name: program for program in programs}
+
+    def check_combo(combo: tuple[str, ...]) -> bool:
+        graph = construct_summary_graph(
+            unfold([by_name[name] for name in combo]), schema, settings
+        )
+        return check(graph)
+
+    return enumerate_robust_subsets(by_name, check_combo)
 
 
 def maximal_robust_subsets(
@@ -93,14 +127,7 @@ def maximal_robust_subsets(
     method: str | Method = "type-II",
 ) -> tuple[frozenset[str], ...]:
     """The maximal robust subsets, largest first (as listed in Figures 6/7)."""
-    verdicts = robust_subsets(programs, schema, settings, method)
-    robust = [subset for subset, ok in verdicts.items() if ok]
-    maximal = [
-        subset
-        for subset in robust
-        if not any(subset < other for other in robust)
-    ]
-    return tuple(sorted(maximal, key=lambda s: (-len(s), sorted(s))))
+    return maximal_subsets(robust_subsets(programs, schema, settings, method))
 
 
 def format_subsets(subsets: Iterable[frozenset[str]], abbreviations: dict[str, str] | None = None) -> str:

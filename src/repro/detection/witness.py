@@ -10,6 +10,7 @@ that make the walk dangerous) and lists the full edge sequence.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import networkx as nx
 
@@ -52,6 +53,25 @@ class CycleWitness:
             marker = " *" if edge in self.highlighted else ""
             lines.append(f"  {edge} [{edge.kind}]{marker}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-compatible form; ``highlighted`` is stored as edge indices."""
+        return {
+            "reason": self.reason,
+            "edges": [edge.to_dict() for edge in self.edges],
+            "highlighted": [
+                index for index, edge in enumerate(self.edges) if edge in self.highlighted
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CycleWitness":
+        edges = tuple(SummaryEdge.from_dict(item) for item in data["edges"])
+        return cls(
+            edges=edges,
+            reason=data["reason"],
+            highlighted=tuple(edges[index] for index in data.get("highlighted", ())),
+        )
 
     def __str__(self) -> str:
         return self.describe()

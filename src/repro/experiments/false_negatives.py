@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.detection.subsets import robust_subsets
+from repro.analysis.session import Analyzer
 from repro.engine.search import find_counterexample
 from repro.experiments.reporting import render_table
 from repro.summary.settings import ATTR_DEP_FK, AnalysisSettings
@@ -124,7 +124,7 @@ def run_false_negatives(
     """
     workload = smallbank()
     verdicts = []
-    grid = robust_subsets(workload.programs, workload.schema, settings, "type-II")
+    grid = Analyzer(workload).robust_subsets(settings, "type-II")
     confirmed_non_robust: set[frozenset[str]] = set()
     for subset, robust in sorted(grid.items(), key=lambda item: len(item[0])):
         if robust:
@@ -148,7 +148,7 @@ def run_false_negatives(
         verdicts.append(SubsetVerdict(subset, False, found))
 
     tpc = tpcc()
-    delivery = [tpc.program("Delivery")]
-    delivery_grid = robust_subsets(delivery, tpc.schema, settings, "type-II")
-    delivery_rejected = not delivery_grid[frozenset({"Delivery"})]
+    delivery_rejected = not Analyzer(tpc).is_robust(
+        settings, subset=["Delivery"], method="type-II"
+    )
     return FalseNegativeResult(tuple(verdicts), delivery_rejected)

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.detection.subsets import maximal_robust_subsets
+from repro.analysis.session import Analyzer
 from repro.experiments import expected
 from repro.experiments.reporting import check_mark, render_table
 from repro.summary.settings import ALL_SETTINGS, AnalysisSettings
@@ -69,13 +69,17 @@ def compute_grid(
     title: str,
     settings_list: tuple[AnalysisSettings, ...] = ALL_SETTINGS,
 ) -> SubsetGridResult:
-    """The shared driver behind Figures 6 and 7."""
+    """The shared driver behind Figures 6 and 7.
+
+    One :class:`Analyzer` session per benchmark: the unfolding is shared
+    across the four settings rows, and each row's subset enumeration needs
+    only one summary-graph construction.
+    """
     cells = []
     for workload in (smallbank(), tpcc(), auction()):
+        session = Analyzer(workload)
         for settings in settings_list:
-            subsets = maximal_robust_subsets(
-                workload.programs, workload.schema, settings, method
-            )
+            subsets = session.maximal_robust_subsets(settings, method)
             abbreviated = _abbreviated(workload, subsets)
             paper = paper_grid.get(workload.name, {}).get(settings.label)
             cells.append(

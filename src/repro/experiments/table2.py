@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.session import Analyzer
 from repro.experiments import expected
 from repro.experiments.reporting import check_mark, render_table
 from repro.summary.settings import ATTR_DEP_FK
@@ -68,7 +69,7 @@ class Table2Result:
 
 def characterize(workload: Workload) -> Table2Row:
     """Compute one Table 2 row for a workload."""
-    graph = workload.summary_graph(ATTR_DEP_FK)
+    graph = Analyzer(workload).summary_graph(ATTR_DEP_FK)
     attr_counts = sorted(len(relation.attributes) for relation in workload.schema)
     if attr_counts[0] == attr_counts[-1]:
         attrs = str(attr_counts[0])

@@ -9,7 +9,7 @@ foreign-key conditions ``ncDepConds`` and ``cDepConds``.
 """
 
 from repro.summary.construct import build_summary_graph, construct_summary_graph
-from repro.summary.graph import SummaryEdge, SummaryGraph
+from repro.summary.graph import SummaryEdge, SummaryGraph, SummaryStats
 from repro.summary.settings import (
     ALL_SETTINGS,
     ATTR_DEP,
@@ -25,6 +25,7 @@ from repro.summary.conditions import c_dep_conds, nc_dep_conds
 __all__ = [
     "SummaryEdge",
     "SummaryGraph",
+    "SummaryStats",
     "construct_summary_graph",
     "build_summary_graph",
     "AnalysisSettings",

@@ -13,13 +13,55 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 import networkx as nx
 
 from repro.btp.ltp import LTP
 from repro.btp.statement import Statement
 from repro.errors import ProgramError
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """The node/edge statistics of a summary graph (the Table 2 columns).
+
+    Unlike :class:`SummaryGraph` itself (whose nodes carry full LTPs), the
+    statistics are plain data and survive a ``to_dict``/``from_dict``
+    round trip — they are what :class:`~repro.detection.api.RobustnessReport`
+    serializes.
+    """
+
+    nodes: int
+    edges: int
+    counterflow: int
+    program_names: tuple[str, ...]
+
+    def describe(self) -> str:
+        return (
+            f"summary graph: {self.nodes} programs, {self.edges} edges "
+            f"({self.counterflow} counterflow)"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "counterflow": self.counterflow,
+            "program_names": list(self.program_names),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SummaryStats":
+        return cls(
+            nodes=int(data["nodes"]),
+            edges=int(data["edges"]),
+            counterflow=int(data["counterflow"]),
+            program_names=tuple(data["program_names"]),
+        )
+
+    def __str__(self) -> str:
+        return self.describe()
 
 
 @dataclass(frozen=True)
@@ -50,6 +92,29 @@ class SummaryEdge:
         return (
             f"{self.source}.{self.source_stmt}@{self.source_pos} {arrow} "
             f"{self.target}.{self.target_stmt}@{self.target_pos}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "source_stmt": self.source_stmt,
+            "source_pos": self.source_pos,
+            "counterflow": self.counterflow,
+            "target_stmt": self.target_stmt,
+            "target_pos": self.target_pos,
+            "target": self.target,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SummaryEdge":
+        return cls(
+            source=data["source"],
+            source_stmt=data["source_stmt"],
+            source_pos=int(data["source_pos"]),
+            counterflow=bool(data["counterflow"]),
+            target_stmt=data["target_stmt"],
+            target_pos=int(data["target_pos"]),
+            target=data["target"],
         )
 
 
@@ -121,6 +186,28 @@ class SummaryGraph:
             edge for edge in self._edges if edge.source == source and edge.target == target
         )
 
+    def restricted_to(self, names: Iterable[str]) -> "SummaryGraph":
+        """The induced subgraph over the given LTP node names.
+
+        Algorithm 1 adds edges per ordered *pair* of programs, looking only
+        at the two programs involved, so ``SuG(𝒫')`` for ``𝒫' ⊆ 𝒫`` equals
+        ``SuG(𝒫)`` restricted to the nodes of ``𝒫'`` — the observation that
+        lets a cached full graph answer every subset query without
+        re-running Algorithm 1.
+        """
+        keep = set(names)
+        unknown = keep - set(self._programs)
+        if unknown:
+            raise ProgramError(f"unknown programs in restriction: {sorted(unknown)!r}")
+        return SummaryGraph(
+            (program for name, program in self._programs.items() if name in keep),
+            (
+                edge
+                for edge in self._edges
+                if edge.source in keep and edge.target in keep
+            ),
+        )
+
     def source_statement(self, edge: SummaryEdge) -> Statement:
         """The statement object at an edge's source occurrence."""
         return self.program(edge.source).statement_at(edge.source_pos)
@@ -164,12 +251,26 @@ class SummaryGraph:
         """Number of counterflow edges (the parenthesised Table 2 count)."""
         return len(self.counterflow_edges)
 
+    @property
+    def stats(self) -> SummaryStats:
+        """The serializable node/edge statistics of this graph."""
+        return SummaryStats(
+            nodes=len(self),
+            edges=self.edge_count,
+            counterflow=self.counterflow_count,
+            program_names=self.program_names,
+        )
+
+    def to_dict(self, include_edges: bool = True) -> dict:
+        """A JSON-compatible view: statistics plus (optionally) all edges."""
+        data: dict = {"stats": self.stats.to_dict()}
+        if include_edges:
+            data["edges"] = [edge.to_dict() for edge in self._edges]
+        return data
+
     def describe(self) -> str:
         """A short multi-line summary (nodes, edge counts)."""
-        return (
-            f"summary graph: {len(self)} programs, {self.edge_count} edges "
-            f"({self.counterflow_count} counterflow)"
-        )
+        return self.stats.describe()
 
     def __str__(self) -> str:
         return self.describe()

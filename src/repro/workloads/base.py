@@ -3,16 +3,20 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from pathlib import Path
+from typing import Mapping, Sequence, Union
 
 from repro.btp.program import BTP
 from repro.btp.unfold import unfold
-from repro.detection.api import RobustnessReport, analyze
+from repro.detection.api import RobustnessReport
 from repro.errors import ProgramError
 from repro.schema import Schema
 from repro.summary.construct import construct_summary_graph
 from repro.summary.graph import SummaryGraph
 from repro.summary.settings import AnalysisSettings
+
+#: Anything :meth:`Workload.resolve` accepts as a workload description.
+WorkloadSource = Union["Workload", str, Path, Sequence[BTP]]
 
 
 @dataclass(frozen=True)
@@ -36,6 +40,58 @@ class Workload:
             raise ProgramError(f"workload {self.name!r}: duplicate program names {names!r}")
         for program in self.programs:
             program.validate_against(self.schema)
+
+    @classmethod
+    def resolve(
+        cls,
+        source: WorkloadSource,
+        *,
+        schema: Schema | None = None,
+        name: str | None = None,
+    ) -> "Workload":
+        """Turn any workload description into a :class:`Workload`.
+
+        Accepted sources (the single entry point behind the CLI and the
+        :class:`repro.analysis.Analyzer` session):
+
+        * a :class:`Workload` instance — returned unchanged;
+        * a built-in name (``"smallbank"``, ``"tpcc"``, ``"auction"``) or a
+          scaled instance (``"auction(5)"``);
+        * a :class:`~pathlib.Path` or path string naming a workload file;
+        * raw workload-file text (any string containing a newline);
+        * a sequence of :class:`BTP` programs together with ``schema=``.
+        """
+        from repro.workloads.loader import load_workload
+        from repro.workloads.registry import get_workload
+
+        if schema is not None:
+            if isinstance(source, (Workload, str, Path)):
+                raise TypeError(
+                    "schema= is only valid with a sequence of BTP programs, "
+                    f"not with a {type(source).__name__} source"
+                )
+            return cls(name or "adhoc", schema, tuple(source))
+        if isinstance(source, Workload):
+            return source
+        if isinstance(source, Path):
+            return load_workload(source)
+        if isinstance(source, str):
+            if "\n" in source:
+                return load_workload(source, name or "workload")
+            if Path(source).is_file():
+                return load_workload(source)
+            if "/" in source or Path(source).suffix:
+                # looks like a file name, not a built-in workload name
+                raise FileNotFoundError(f"workload file not found: {source!r}")
+            try:
+                return get_workload(source)
+            except ValueError as error:
+                raise ValueError(f"{error} (and no such workload file exists)") from None
+        raise TypeError(
+            "cannot resolve a workload from "
+            f"{type(source).__name__}; pass a Workload, a built-in name, a file "
+            "path, workload text, or a sequence of BTPs with schema=..."
+        )
 
     @property
     def program_names(self) -> tuple[str, ...]:
@@ -77,8 +133,14 @@ class Workload:
         settings: AnalysisSettings = AnalysisSettings(),
         max_loop_iterations: int = 2,
     ) -> RobustnessReport:
-        """Full robustness analysis (both detection methods)."""
-        return analyze(self.programs, self.schema, settings, max_loop_iterations)
+        """Full robustness analysis (both detection methods).
+
+        One-shot convenience; for repeated analyses of the same workload,
+        hold a :class:`repro.analysis.Analyzer` session instead.
+        """
+        from repro.analysis.session import Analyzer  # deferred: import cycle
+
+        return Analyzer(self, max_loop_iterations=max_loop_iterations).analyze(settings)
 
     def abbreviate(self, program_name: str) -> str:
         """The Figure 6/7 short label for a program (name itself if none)."""

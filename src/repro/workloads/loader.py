@@ -24,8 +24,11 @@ The format keeps the paper's notation.  Line comments start with ``#``::
 
 Programs are written in the Appendix A SQL fragment and translated through
 :mod:`repro.sqlfront`; statements are named ``q1, q2, …`` per program in
-order of appearance (inspect them with ``repro analyze <file>``), and
+order of appearance (inspect them with ``repro analyze <file>``, or
+``repro analyze <file> --json`` for machine-readable output), and
 ``ANNOTATE`` lines attach foreign-key constraints using those names.
+Programmatic use goes through ``Analyzer(path)`` or
+``Workload.resolve(path)``, both of which route here for files and text.
 """
 
 from __future__ import annotations
@@ -167,11 +170,24 @@ class _Loader:
 def load_workload(source: str | Path, name: str = "workload") -> Workload:
     """Load a workload from file contents or a path.
 
-    ``source`` may be a path to a workload file or the file's text itself
-    (anything containing a newline is treated as text).
+    ``source`` may be a :class:`~pathlib.Path`, a path string, or the
+    workload text itself.  A string containing a newline is always treated
+    as text; a single-line string is treated as a file name and must exist
+    — a missing file raises :class:`FileNotFoundError` instead of being
+    silently (mis)parsed as workload content.  (``Analyzer("my.workload")``
+    and ``Workload.resolve`` route through here, so CLI typos surface as a
+    clear file error.)
     """
-    text = str(source)
-    if "\n" not in text and Path(text).exists():
-        path = Path(text)
+    if isinstance(source, Path):
+        if not source.exists():
+            raise FileNotFoundError(f"workload file not found: {source}")
+        return _Loader(source.read_text(), source.stem).load()
+    if "\n" in source:
+        return _Loader(source, name).load()
+    path = Path(source)
+    if path.exists():
         return _Loader(path.read_text(), path.stem).load()
-    return _Loader(text, name).load()
+    raise FileNotFoundError(
+        f"workload file not found: {source!r} "
+        "(raw workload text must contain newlines)"
+    )

@@ -1,0 +1,210 @@
+"""Tests for the staged Analyzer session API and machine-readable reports."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import AnalysisMatrix, Analyzer, RobustnessReport, Workload
+from repro.detection.subsets import maximal_robust_subsets, robust_subsets
+from repro.errors import ProgramError
+from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK, TPL_DEP
+
+TICKETING_FILE = Path(__file__).resolve().parent.parent / "examples" / "ticketing.workload"
+
+
+class TestWorkloadResolve:
+    def test_builtin_name(self):
+        assert Workload.resolve("smallbank").name == "SmallBank"
+
+    def test_scaled_builtin(self):
+        workload = Workload.resolve("auction(3)")
+        assert workload.name == "Auction(3)"
+        assert len(workload.programs) == 6
+
+    def test_path(self):
+        assert Workload.resolve(TICKETING_FILE).name == "Ticketing"
+
+    def test_path_string(self):
+        assert Workload.resolve(str(TICKETING_FILE)).name == "Ticketing"
+
+    def test_raw_text(self):
+        workload = Workload.resolve(TICKETING_FILE.read_text())
+        assert workload.name == "Ticketing"
+
+    def test_workload_passthrough(self, auction_workload):
+        assert Workload.resolve(auction_workload) is auction_workload
+
+    def test_programs_plus_schema(self, auction_workload):
+        workload = Workload.resolve(
+            auction_workload.programs, schema=auction_workload.schema, name="mine"
+        )
+        assert workload.name == "mine"
+        assert workload.program_names == auction_workload.program_names
+
+    def test_unknown_name_mentions_missing_file(self):
+        with pytest.raises(ValueError, match="no such workload file"):
+            Workload.resolve("nope")
+
+    def test_missing_path_object(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Workload.resolve(tmp_path / "absent.workload")
+
+    def test_unresolvable_type(self):
+        with pytest.raises(TypeError, match="cannot resolve"):
+            Workload.resolve(42)
+
+    def test_schema_with_name_source_rejected(self, auction_workload):
+        with pytest.raises(TypeError, match="sequence of BTP programs"):
+            Workload.resolve("smallbank", schema=auction_workload.schema)
+
+    def test_schema_with_workload_source_rejected(self, auction_workload):
+        with pytest.raises(TypeError, match="sequence of BTP programs"):
+            Workload.resolve(auction_workload, schema=auction_workload.schema)
+
+
+class TestAnalyzerStages:
+    def test_analyze_matches_legacy_analyze(self, smallbank_workload):
+        session = Analyzer(smallbank_workload)
+        for settings in ALL_SETTINGS:
+            report = session.analyze(settings)
+            legacy = smallbank_workload.analyze(settings)
+            assert report.robust == legacy.robust
+            assert report.type1_robust == legacy.type1_robust
+            assert report.stats == legacy.stats
+
+    def test_matrix_agrees_with_per_setting_analyze(self, auction_workload):
+        session = Analyzer(auction_workload)
+        matrix = session.analyze_matrix()
+        assert matrix.workload == auction_workload.name
+        assert matrix.settings_labels == tuple(s.label for s in ALL_SETTINGS)
+        for settings in ALL_SETTINGS:
+            assert matrix.report(settings) is session.analyze(settings)
+            assert matrix.report(settings.label).robust == session.analyze(settings).robust
+
+    def test_memoization_identical_to_cold_runs(self, smallbank_workload):
+        warm = Analyzer(smallbank_workload)
+        first = warm.analyze(ATTR_DEP_FK)
+        assert warm.analyze(ATTR_DEP_FK) is first  # cached object
+        cold = Analyzer(smallbank_workload)
+        again = cold.analyze(ATTR_DEP_FK)
+        assert again.to_dict() == first.to_dict()
+
+    def test_unfold_happens_once(self, auction_workload):
+        session = Analyzer(auction_workload)
+        session.analyze_matrix()
+        session.maximal_robust_subsets(ATTR_DEP_FK)
+        info = session.cache_info()
+        assert info["unfolded_programs"] == len(auction_workload.programs)
+        # one full graph per setting, nothing per candidate subset
+        assert info["summary_graphs"] == len(ALL_SETTINGS)
+
+    def test_clear_cache_recomputes_equal_results(self, auction_workload):
+        session = Analyzer(auction_workload)
+        before = session.analyze(ATTR_DEP_FK)
+        session.clear_cache()
+        assert session.cache_info() == {
+            "unfolded_programs": 0, "summary_graphs": 0, "reports": 0,
+        }
+        assert session.analyze(ATTR_DEP_FK).to_dict() == before.to_dict()
+
+    def test_subset_graph_equals_cold_construction(self, smallbank_workload):
+        names = ["Balance", "WriteCheck"]
+        cold = smallbank_workload.subset(names).summary_graph(ATTR_DEP_FK)
+        # subset-first: the graph is built directly over the subset's LTPs
+        direct_session = Analyzer(smallbank_workload)
+        direct = direct_session.summary_graph(ATTR_DEP_FK, names)
+        assert direct_session.cache_info()["unfolded_programs"] == len(names)
+        # full-first: the subset graph is restricted from the cached full graph
+        restricted_session = Analyzer(smallbank_workload)
+        restricted_session.summary_graph(ATTR_DEP_FK)
+        restricted = restricted_session.summary_graph(ATTR_DEP_FK, names)
+        for graph in (direct, restricted):
+            assert set(graph.edges) == set(cold.edges)
+            assert set(graph.program_names) == set(cold.program_names)
+
+    def test_subset_analysis_matches_workload_subset(self, smallbank_workload):
+        session = Analyzer(smallbank_workload)
+        for names in (["Balance", "DepositChecking"], ["Balance", "WriteCheck"]):
+            report = session.analyze(ATTR_DEP_FK, names)
+            cold = smallbank_workload.subset(names).analyze(ATTR_DEP_FK)
+            assert report.robust == cold.robust
+            assert report.type1_robust == cold.type1_robust
+
+    def test_unknown_subset_program_rejected(self, auction_workload):
+        with pytest.raises(ProgramError, match="unknown programs"):
+            Analyzer(auction_workload).analyze(subset=["Nope"])
+
+    def test_max_loop_iterations_forwarded(self, tpcc_workload):
+        shallow = Analyzer(tpcc_workload, max_loop_iterations=1)
+        deep = Analyzer(tpcc_workload, max_loop_iterations=2)
+        assert len(shallow.unfolded()) < len(deep.unfolded())
+
+
+class TestSubsetEnumeration:
+    @pytest.mark.parametrize("workload_name", ["smallbank", "auction"])
+    @pytest.mark.parametrize("method", ["type-II", "type-I"])
+    def test_matches_seed_enumeration(self, workload_name, method, request):
+        workload = request.getfixturevalue(f"{workload_name}_workload")
+        session = Analyzer(workload)
+        for settings in (TPL_DEP, ATTR_DEP_FK):
+            assert session.robust_subsets(settings, method) == robust_subsets(
+                workload.programs, workload.schema, settings, method
+            )
+            assert session.maximal_robust_subsets(
+                settings, method
+            ) == maximal_robust_subsets(
+                workload.programs, workload.schema, settings, method
+            )
+
+    def test_smallbank_paper_subsets(self, smallbank_workload):
+        session = Analyzer(smallbank_workload)
+        maximal = session.maximal_robust_subsets(ATTR_DEP_FK)
+        abbreviated = {
+            frozenset(smallbank_workload.abbreviate(name) for name in subset)
+            for subset in maximal
+        }
+        assert abbreviated == {
+            frozenset({"Am", "DC", "TS"}),
+            frozenset({"Bal", "DC"}),
+            frozenset({"Bal", "TS"}),
+        }
+
+
+class TestSerialization:
+    def test_report_round_trip(self, smallbank_workload):
+        report = Analyzer(smallbank_workload).analyze(ATTR_DEP_FK)
+        assert report.witness is not None  # SmallBank is non-robust
+        revived = RobustnessReport.from_dict(json.loads(report.to_json()))
+        assert revived.to_dict() == report.to_dict()
+        assert revived.graph is None
+        assert revived.robust == report.robust
+        assert revived.program_count == report.program_count
+        assert revived.witness.edges == report.witness.edges
+        assert revived.describe() == report.describe()
+
+    def test_robust_report_round_trip(self, auction_workload):
+        report = Analyzer(auction_workload).analyze(ATTR_DEP_FK)
+        assert report.robust and report.type1_witness is not None
+        revived = RobustnessReport.from_json(report.to_json(indent=2))
+        assert revived.to_dict() == report.to_dict()
+        assert revived.type1_witness.highlighted == report.type1_witness.highlighted
+
+    def test_matrix_round_trip(self, auction_workload):
+        matrix = Analyzer(auction_workload).analyze_matrix()
+        revived = AnalysisMatrix.from_dict(json.loads(matrix.to_json()))
+        assert revived.to_dict() == matrix.to_dict()
+        assert revived.verdicts() == matrix.verdicts()
+
+    def test_graph_to_dict(self, auction_workload):
+        graph = Analyzer(auction_workload).summary_graph(ATTR_DEP_FK)
+        data = json.loads(json.dumps(graph.to_dict()))
+        assert data["stats"]["edges"] == graph.edge_count == len(data["edges"])
+        assert data["stats"]["counterflow"] == graph.counterflow_count
+
+    def test_report_requires_graph_or_stats(self):
+        with pytest.raises(ValueError, match="summary graph or its stats"):
+            RobustnessReport(
+                settings=ATTR_DEP_FK, graph=None, robust=True, type1_robust=True,
+                witness=None, type1_witness=None,
+            )

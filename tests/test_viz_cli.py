@@ -88,9 +88,59 @@ class TestCli:
         assert main(["analyze", "auction(2)"]) == 0
         assert "Auction(2)" in capsys.readouterr().out
 
-    def test_unknown_workload_raises(self):
-        with pytest.raises(ValueError):
-            main(["analyze", "nope"])
+    def test_unknown_workload_exits_nonzero(self, capsys):
+        assert main(["analyze", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+
+    def test_missing_workload_file_exits_nonzero(self, capsys):
+        assert main(["analyze", "no_such.workload"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_workload_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "broken.workload"
+        path.write_text("TABLE T (a*)\nGARBAGE LINE\n")
+        assert main(["analyze", str(path)]) == 2
+        assert "unrecognized" in capsys.readouterr().err
+
+    def test_version_flag(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_analyze_json_round_trips(self, capsys):
+        from repro import RobustnessReport
+        assert main(["analyze", "smallbank", "--json"]) == 0
+        import json
+        data = json.loads(capsys.readouterr().out)
+        report = RobustnessReport.from_dict(data)
+        assert report.workload == "SmallBank"
+        assert report.robust is False
+
+    def test_analyze_all_settings_json(self, capsys):
+        from repro import AnalysisMatrix
+        assert main(["analyze", "auction", "--all-settings", "--json"]) == 0
+        import json
+        matrix = AnalysisMatrix.from_dict(json.loads(capsys.readouterr().out))
+        assert matrix.verdicts()["attr dep + FK"] is True
+        assert matrix.verdicts()["tpl dep"] is False
+
+    def test_subsets_json(self, capsys):
+        import json
+        assert main(["subsets", "smallbank", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert ["Amalgamate", "DepositChecking", "TransactSavings"] in data[
+            "maximal_robust_subsets"
+        ]
+
+    def test_graph_json(self, capsys):
+        import json
+        assert main(["graph", "auction", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["stats"]["nodes"] == 3
+        assert len(data["edges"]) == data["stats"]["edges"] == 17
 
     def test_experiments_figure8_small(self, capsys):
         assert main(
