@@ -1,18 +1,19 @@
-"""Benchmark: staged Analyzer session vs the one-shot subset enumeration.
+"""Benchmark: block-store-backed enumeration vs the seed per-subset pipeline.
 
-``repro.detection.subsets.robust_subsets`` (the pre-session path, kept for
-compatibility) re-unfolds the programs and re-runs Algorithm 1 for every
-candidate subset that anti-monotone pruning cannot skip.  The
-:class:`repro.analysis.Analyzer` session builds the summary graph once per
-setting and answers each subset query with an induced-subgraph restriction
-plus the cycle check, so the full pipeline runs at most once per
-(settings, full-program-set).
+The seed's ``robust_subsets`` re-unfolded the programs and re-ran Algorithm 1
+for every candidate subset that anti-monotone pruning could not skip.  Both
+the :class:`repro.analysis.Analyzer` session and today's one-shot
+``repro.detection.subsets.robust_subsets`` instead compute each pairwise
+edge block once and assemble every candidate subset's graph from cached
+blocks, so the full pipeline runs at most once per setting.  The seed
+algorithm is reproduced inline here as the baseline.
 
 The difference only shows when pruning does not collapse the search —
 i.e. on settings where the full workload is *not* robust (on Auction that
 is 'tpl dep' and 'attr dep'; under 'attr dep + FK' the full set is robust
 and both paths build a single graph).  The default run checks a >=2x
-speedup on those settings for Auction(5).
+speedup on those settings for Auction(5), for the session and the one-shot
+path alike.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_api.py [--scale N]
            [--repetitions R] [--threshold X]
@@ -25,9 +26,29 @@ import sys
 import time
 
 from repro.analysis import Analyzer
-from repro.detection.subsets import robust_subsets
+from repro.btp.unfold import unfold
+from repro.detection.subsets import (
+    _resolve_method,
+    enumerate_robust_subsets,
+    robust_subsets,
+)
+from repro.summary.construct import construct_summary_graph
 from repro.summary.settings import ALL_SETTINGS
 from repro.workloads import auction_n
+
+
+def seed_robust_subsets(programs, schema, settings):
+    """The pre-block-store enumeration: a full pipeline per tested subset."""
+    check = _resolve_method("type-II")
+    by_name = {program.name: program for program in programs}
+
+    def check_combo(combo):
+        graph = construct_summary_graph(
+            unfold([by_name[name] for name in combo]), schema, settings
+        )
+        return check(graph)
+
+    return enumerate_robust_subsets(by_name, check_combo)
 
 
 def _time(callable_, repetitions: int) -> tuple[float, object]:
@@ -58,30 +79,38 @@ def main(argv=None) -> int:
         f"{2 ** len(workload.programs) - 1} non-empty subsets, "
         f"best of {args.repetitions} runs\n"
     )
-    print(f"{'setting':14s} {'seed [s]':>10s} {'session [s]':>12s} {'speedup':>8s}")
+    print(
+        f"{'setting':14s} {'seed [s]':>10s} {'one-shot [s]':>13s} "
+        f"{'session [s]':>12s} {'speedup':>8s}"
+    )
 
     failures = []
     for settings in ALL_SETTINGS:
         seed_seconds, seed_verdicts = _time(
+            lambda: seed_robust_subsets(workload.programs, workload.schema, settings),
+            args.repetitions,
+        )
+        oneshot_seconds, oneshot_verdicts = _time(
             lambda: robust_subsets(workload.programs, workload.schema, settings),
             args.repetitions,
         )
         session_seconds, session_verdicts = _time(
             lambda: Analyzer(workload).robust_subsets(settings), args.repetitions
         )
-        if seed_verdicts != session_verdicts:
+        if seed_verdicts != session_verdicts or seed_verdicts != oneshot_verdicts:
             print(f"FAIL: verdicts differ under {settings.label!r}")
             return 1
         speedup = seed_seconds / session_seconds
+        oneshot_speedup = seed_seconds / oneshot_seconds
         full_robust = seed_verdicts[frozenset(workload.program_names)]
         gated = not full_robust  # pruning collapses the robust settings
         print(
-            f"{settings.label:14s} {seed_seconds:10.3f} {session_seconds:12.3f} "
-            f"{speedup:7.1f}x"
+            f"{settings.label:14s} {seed_seconds:10.3f} {oneshot_seconds:13.3f} "
+            f"{session_seconds:12.3f} {speedup:7.1f}x"
             + ("" if gated else "   (full set robust: pruning, no gate)")
         )
-        if gated and speedup < args.threshold:
-            failures.append((settings.label, speedup))
+        if gated and (speedup < args.threshold or oneshot_speedup < args.threshold):
+            failures.append((settings.label, min(speedup, oneshot_speedup)))
 
     print()
     if failures:
@@ -89,8 +118,8 @@ def main(argv=None) -> int:
             print(f"FAIL: {label!r} speedup {speedup:.1f}x < {args.threshold:.1f}x")
         return 1
     print(
-        f"PASS: session API >= {args.threshold:.1f}x faster wherever the full "
-        "pipeline dominates (verdicts identical on all settings)"
+        f"PASS: block-store paths >= {args.threshold:.1f}x faster wherever the "
+        "full pipeline dominates (verdicts identical on all settings)"
     )
     return 0
 

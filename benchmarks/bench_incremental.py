@@ -1,0 +1,137 @@
+"""Benchmark: incremental replace-one-program re-analysis vs full rebuild.
+
+Algorithm 1 adds summary-graph edges per ordered pair of programs, so
+replacing one program of an ``n``-program workload invalidates only the
+pairwise edge blocks that involve it — at most ``2n − 1`` of the ``n²``
+program-pair blocks — plus that one program's unfolding.  A persistent
+:class:`repro.analysis.Analyzer` session (:meth:`replace_program`) therefore
+re-analyzes a one-program edit far faster than rebuilding the pipeline from
+scratch.
+
+The benchmark edits one ``FindBids_i`` program of Auction(n) back and forth
+between two versions, timing (a) a fresh session per edit (full rebuild) and
+(b) one warm session using ``replace_program`` (incremental), and gates a
+>=5x speedup on the best-of-R per-edit times (single edits are
+millisecond-scale, so one GC pause or CPU-steal spike must not fail the
+gate).  Reports of both paths are checked for equality on every repetition.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_incremental.py [--scale N]
+           [--repetitions R] [--threshold X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.analysis import Analyzer
+from repro.btp.program import BTP, seq
+from repro.btp.statement import Statement
+from repro.summary.settings import ATTR_DEP_FK
+from repro.workloads import auction_n
+from repro.workloads.base import Workload
+
+
+def _find_bids_variant(workload: Workload, name: str) -> BTP:
+    """A modified version of one FindBids program (extra key-based read)."""
+    original = workload.program(name)
+    buyer = workload.schema.relation("Buyer")
+    bids_relation = next(
+        stmt.relation for stmt in _statements(original) if stmt.relation != "Buyer"
+    )
+    bids = workload.schema.relation(bids_relation)
+    return BTP(
+        name,
+        seq(
+            Statement.key_update("q1", buyer, reads=["calls"], writes=["calls"]),
+            Statement.pred_select("q2", bids, predicate=["bid"], reads=["bid"]),
+            Statement.key_select("q2b", bids, reads=["bid"]),
+        ),
+    )
+
+
+def _statements(program: BTP):
+    """All statements mentioned in a BTP, in syntax order."""
+    from repro.btp.program import Choice, Loop, Opt, Seq, Stmt
+
+    def walk(node):
+        if isinstance(node, Stmt):
+            yield node.statement
+        elif isinstance(node, Seq):
+            for part in node.parts:
+                yield from walk(part)
+        elif isinstance(node, (Choice,)):
+            yield from walk(node.left)
+            yield from walk(node.right)
+        elif isinstance(node, (Opt, Loop)):
+            yield from walk(node.body)
+
+    return list(walk(program.root))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=24, help="Auction(n) scale")
+    parser.add_argument("--repetitions", type=int, default=6)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="required speedup of incremental replace vs full rebuild",
+    )
+    args = parser.parse_args(argv)
+
+    workload = auction_n(args.scale)
+    target = workload.program_names[0]  # FindBids(1)
+    original = workload.program(target)
+    variant = _find_bids_variant(workload, target)
+    settings = ATTR_DEP_FK
+
+    session = Analyzer(workload)
+    session.analyze(settings)  # warm the session once (not timed)
+    blocks_before = session.cache_info()["block_computations"]
+
+    incremental_best = float("inf")
+    rebuild_best = float("inf")
+    for repetition in range(args.repetitions):
+        edited = variant if repetition % 2 == 0 else original
+
+        started = time.perf_counter()
+        session.replace_program(edited)
+        incremental_report = session.analyze(settings)
+        incremental_best = min(incremental_best, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        fresh = Analyzer(workload)
+        fresh.replace_program(edited)  # cold session: nothing cached to evict
+        rebuild_report = fresh.analyze(settings)
+        rebuild_best = min(rebuild_best, time.perf_counter() - started)
+
+        if incremental_report.to_dict() != rebuild_report.to_dict():
+            print(f"FAIL: reports differ on repetition {repetition}")
+            return 1
+
+    info = session.cache_info()
+    ltp_count = info["edge_blocks"] ** 0.5
+    recomputed = (info["block_computations"] - blocks_before) / args.repetitions
+    speedup = rebuild_best / incremental_best
+    print(
+        f"Auction({args.scale}): {len(workload.programs)} programs, "
+        f"{info['edge_blocks']} edge blocks ({ltp_count:.0f} LTPs); "
+        f"replacing {target!r} recomputes ~{recomputed:.0f} blocks/edit"
+    )
+    print(
+        f"full rebuild: {rebuild_best * 1e3:8.1f} ms/edit   "
+        f"incremental: {incremental_best * 1e3:8.1f} ms/edit   "
+        f"speedup: {speedup:.1f}x  (best of {args.repetitions})"
+    )
+    if speedup < args.threshold:
+        print(f"FAIL: incremental speedup {speedup:.1f}x < {args.threshold:.1f}x")
+        return 1
+    print(f"PASS: incremental replace >= {args.threshold:.1f}x faster than rebuild")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,16 +72,18 @@ from repro.summary import (
     TPL_DEP,
     TPL_DEP_FK,
     AnalysisSettings,
+    EdgeBlockStore,
     Granularity,
     SummaryEdge,
     SummaryGraph,
     SummaryStats,
     build_summary_graph,
     construct_summary_graph,
+    pair_edges,
 )
 from repro.workloads import Workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -109,6 +111,8 @@ __all__ = [
     "SummaryStats",
     "build_summary_graph",
     "construct_summary_graph",
+    "EdgeBlockStore",
+    "pair_edges",
     "AnalysisSettings",
     "Granularity",
     "TPL_DEP",

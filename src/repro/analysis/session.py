@@ -7,25 +7,36 @@ cost and depend only on (program subset, ``max_loop_iterations``, settings).
 :class:`Analyzer` memoizes them per stage:
 
 * each BTP is unfolded **once** per session, whatever subsets it appears in;
-* the summary graph over the *full* program set is built **once per
-  settings**; every subset's graph is the induced subgraph (Algorithm 1 adds
-  edges per ordered pair of programs, so restriction is exact — see
-  :meth:`repro.summary.graph.SummaryGraph.restricted_to`);
+* Algorithm 1 runs per *ordered pair* of programs: each pair's edge block
+  is computed once and cached in a per-settings
+  :class:`~repro.summary.pairwise.EdgeBlockStore`, and every (subset)
+  summary graph is assembled by concatenating cached blocks (exact, because
+  Algorithm 1 looks only at the two programs of a pair);
 * reports are cached per (settings, subset).
 
-This turns :meth:`Analyzer.robust_subsets` from exponentially many *full
-pipeline* runs into one pipeline run plus exponentially many *cheap* cycle
-checks, and makes :meth:`Analyzer.analyze_matrix` (all four settings of
-Section 7.2) reuse the unfolding across rows.
+The pairwise blocks are also what make the session **incremental**
+(:meth:`Analyzer.add_program` / :meth:`~Analyzer.remove_program` /
+:meth:`~Analyzer.replace_program` recompute only the blocks involving the
+changed program), **parallel** (``jobs=`` computes missing blocks
+concurrently) and **persistent** (:meth:`Analyzer.save_cache` /
+:meth:`~Analyzer.load_cache` carry unfoldings and blocks across
+processes).  This turns :meth:`Analyzer.robust_subsets` from exponentially
+many *full pipeline* runs into one pipeline run plus exponentially many
+*cheap* cycle checks, and makes :meth:`Analyzer.analyze_matrix` (all four
+settings of Section 7.2) reuse the unfolding across rows.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.btp.ltp import LTP
+from repro.btp.program import BTP
 from repro.btp.unfold import unfold_program
 from repro.detection.api import RobustnessReport
 from repro.detection.subsets import (
@@ -38,10 +49,21 @@ from repro.detection.typei import find_type1_violation
 from repro.detection.typeii import find_type2_violation
 from repro.errors import ProgramError
 from repro.schema import Schema
-from repro.summary.construct import construct_summary_graph
-from repro.summary.graph import SummaryGraph
+from repro.summary.graph import SummaryEdge, SummaryGraph
+from repro.summary.pairwise import EdgeBlockStore
 from repro.summary.settings import ALL_SETTINGS, AnalysisSettings
 from repro.workloads.base import Workload, WorkloadSource
+
+#: On-disk session-cache format identifier (see :meth:`Analyzer.save_cache`).
+CACHE_FORMAT = "repro-analyzer-cache"
+#: Current session-cache schema version.
+CACHE_VERSION = 1
+
+
+def _schema_fingerprint(schema: Schema) -> str:
+    """A content hash of a schema (its fields are tuples of frozen
+    dataclasses, so ``repr`` is deterministic across processes)."""
+    return hashlib.sha256(repr(schema).encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -119,6 +141,12 @@ class Analyzer:
         matrix = session.analyze_matrix()             # all four settings
         maximal = session.maximal_robust_subsets()    # reuses the graph
 
+    Sessions are incremental — :meth:`add_program`, :meth:`remove_program`
+    and :meth:`replace_program` keep every cached pairwise edge block that
+    does not involve the changed program — and persistent:
+    :meth:`save_cache`/:meth:`load_cache` carry unfoldings and edge blocks
+    across processes.  ``jobs=`` computes missing blocks concurrently.
+
     Sessions are not thread-safe; share the workload, not the session.
     """
 
@@ -129,10 +157,20 @@ class Analyzer:
         schema: Schema | None = None,
         name: str | None = None,
         max_loop_iterations: int = 2,
+        jobs: int | None = None,
     ):
         self.workload = Workload.resolve(source, schema=schema, name=name)
         self.max_loop_iterations = max_loop_iterations
+        self.jobs = jobs
+        # Remembered for `repro cache load`: a resolvable source string
+        # (built-in name or file path), when that is what we were given.
+        self._source_hint: str | None = None
+        if isinstance(source, Path):
+            self._source_hint = str(source)
+        elif isinstance(source, str) and "\n" not in source:
+            self._source_hint = source
         self._ltps_by_program: dict[str, tuple[LTP, ...]] = {}
+        self._stores: dict[AnalysisSettings, EdgeBlockStore] = {}
         self._graphs: dict[tuple[AnalysisSettings, frozenset[str]], SummaryGraph] = {}
         self._reports: dict[tuple[AnalysisSettings, frozenset[str]], RobustnessReport] = {}
 
@@ -175,29 +213,37 @@ class Analyzer:
         return tuple(ltps)
 
     # -- stage 2: summary-graph construction --------------------------------
+    def edge_block_store(
+        self, settings: AnalysisSettings = AnalysisSettings()
+    ) -> EdgeBlockStore:
+        """The per-settings pairwise edge-block cache behind Algorithm 1."""
+        store = self._stores.get(settings)
+        if store is None:
+            store = EdgeBlockStore(self.schema, settings, jobs=self.jobs)
+            self._stores[settings] = store
+        return store
+
     def summary_graph(
         self,
         settings: AnalysisSettings = AnalysisSettings(),
         subset: Iterable[str] | None = None,
     ) -> SummaryGraph:
-        """Algorithm 1's graph, from cache or by restricting the full graph.
+        """Algorithm 1's graph, assembled from cached pairwise edge blocks.
 
-        A subset graph is derived from the full graph only when the latter
-        is already cached (restriction is exact, see
-        :meth:`SummaryGraph.restricted_to`); otherwise Algorithm 1 runs over
-        just the subset's LTPs, so a one-shot subset query never pays for
-        programs outside it.
+        Only the blocks among the subset's own LTPs are (lazily) computed,
+        so a one-shot subset query never pays for programs outside it, and
+        any blocks shared with previous queries — full-set or subset — are
+        reused as-is.
         """
         names = self._subset_names(subset)
         key = (settings, frozenset(names))
         cached = self._graphs.get(key)
         if cached is not None:
             return cached
-        full = self._graphs.get((settings, frozenset(self.program_names)))
-        if full is not None:
-            graph = full.restricted_to(ltp.name for ltp in self.unfolded(names))
-        else:
-            graph = construct_summary_graph(self.unfolded(names), self.schema, settings)
+        store = self.edge_block_store(settings)
+        ltps = self.unfolded(names)
+        store.register(ltps)
+        graph = store.graph([ltp.name for ltp in ltps], jobs=self.jobs)
         self._graphs[key] = graph
         return graph
 
@@ -254,13 +300,15 @@ class Analyzer:
         """Robustness verdict for every non-empty subset of the programs.
 
         Same contract as :func:`repro.detection.subsets.robust_subsets`, but
-        unfolding and Algorithm 1 run at most once per (settings, full
-        program set): each candidate subset costs only an induced-subgraph
-        restriction plus a cycle check.  Subsets of attested-robust sets
-        still inherit robustness without testing (Proposition 5.2).
+        unfolding and pairwise edge blocks are computed at most once per
+        settings: each candidate subset's graph is assembled from the cached
+        blocks of the session's :class:`EdgeBlockStore` plus a cycle check.
+        Subsets of attested-robust sets still inherit robustness without
+        testing (Proposition 5.2).
         """
         check = _resolve_method(method)
-        full = self.summary_graph(settings)
+        full = self.summary_graph(settings)  # registers LTPs, fills all blocks
+        store = self.edge_block_store(settings)
         ltp_names = {
             name: tuple(ltp.name for ltp in self._ltps_by_program[name])
             for name in self.program_names
@@ -271,7 +319,7 @@ class Analyzer:
             if frozenset(combo) == all_names:
                 return check(full)
             keep = [ltp for name in combo for ltp in ltp_names[name]]
-            return check(full.restricted_to(keep))
+            return check(store.graph(keep))
 
         return enumerate_robust_subsets(self.program_names, check_combo)
 
@@ -283,18 +331,212 @@ class Analyzer:
         """The maximal robust subsets, largest first (as in Figures 6/7)."""
         return maximal_subsets(self.robust_subsets(settings, method))
 
+    # -- incremental re-analysis --------------------------------------------
+    def _set_programs(self, programs: Sequence[BTP]) -> None:
+        """Swap in a new program tuple; ``Workload.__post_init__`` validates
+        the result before ``self.workload`` is reassigned, so a bad edit
+        raises and leaves the session untouched."""
+        self.workload = dataclasses.replace(self.workload, programs=tuple(programs))
+        # The original source string no longer describes this workload, so a
+        # cache saved now must not advertise it to `repro cache load`.
+        self._source_hint = None
+
+    def _evict_program(self, name: str) -> None:
+        """Drop everything derived from one program: its unfoldings, every
+        edge block involving one of its LTPs, and every graph/report whose
+        subset contains it.  Results over subsets *not* containing the
+        program stay cached — they are unaffected by the change."""
+        ltps = self._ltps_by_program.pop(name, None)
+        if ltps is not None:
+            ltp_names = [ltp.name for ltp in ltps]
+            for store in self._stores.values():
+                store.discard(ltp_names)
+        self._graphs = {
+            key: graph for key, graph in self._graphs.items() if name not in key[1]
+        }
+        self._reports = {
+            key: report for key, report in self._reports.items() if name not in key[1]
+        }
+
+    def add_program(self, program: BTP) -> None:
+        """Extend the workload with a new program.
+
+        Existing cached results stay valid (they cover subsets of the old
+        program set); follow-up analyses compute only the edge blocks that
+        involve the new program's LTPs — at most ``2n − 1`` of the ``n²``
+        program-pair blocks.
+        """
+        if program.name in self.program_names:
+            raise ProgramError(
+                f"workload {self.workload.name!r}: program {program.name!r} already "
+                "exists; use replace_program"
+            )
+        self._set_programs(self.workload.programs + (program,))
+
+    def remove_program(self, name: str) -> None:
+        """Drop a program from the workload, evicting only its own caches."""
+        if name not in self.program_names:
+            raise ProgramError(
+                f"workload {self.workload.name!r}: unknown program {name!r}"
+            )
+        self._set_programs(
+            [program for program in self.workload.programs if program.name != name]
+        )
+        self._evict_program(name)
+
+    def replace_program(self, program: BTP, name: str | None = None) -> None:
+        """Swap one program for a new version, keeping all other caches.
+
+        ``name`` is the program to replace (default: ``program.name``); the
+        replacement may rename it.  Only blocks involving the replaced
+        program's LTPs are recomputed on the next analysis.
+        """
+        replaced = name if name is not None else program.name
+        if replaced not in self.program_names:
+            raise ProgramError(
+                f"workload {self.workload.name!r}: unknown program {replaced!r}"
+            )
+        if program.name != replaced and program.name in self.program_names:
+            raise ProgramError(
+                f"workload {self.workload.name!r}: program {program.name!r} already "
+                "exists"
+            )
+        self._set_programs(
+            [
+                program if existing.name == replaced else existing
+                for existing in self.workload.programs
+            ]
+        )
+        self._evict_program(replaced)
+
+    # -- persistence --------------------------------------------------------
+    def save_cache(self, path: str | Path) -> None:
+        """Persist the session's expensive stages to a JSON file.
+
+        The cache carries the unfolded LTPs of every program unfolded so
+        far and all pairwise edge blocks of every settings' store — the two
+        stages that dominate analysis cost.  Reports are *not* stored; cycle
+        detection is cheap and reruns on demand.  Restore with
+        :meth:`load_cache` in any session over the same workload.
+        """
+        data = {
+            "format": CACHE_FORMAT,
+            "version": CACHE_VERSION,
+            "workload": self.workload.name,
+            "source": self._source_hint,
+            "schema": _schema_fingerprint(self.schema),
+            "max_loop_iterations": self.max_loop_iterations,
+            "program_names": list(self.program_names),
+            "unfolded": {
+                name: [ltp.to_dict() for ltp in ltps]
+                for name, ltps in self._ltps_by_program.items()
+            },
+            "stores": [
+                {
+                    "settings": settings.label,
+                    "blocks": [
+                        {
+                            "source": source,
+                            "target": target,
+                            "edges": [edge.to_dict() for edge in edges],
+                        }
+                        for (source, target), edges in store.blocks().items()
+                    ],
+                }
+                for settings, store in self._stores.items()
+            ],
+        }
+        Path(path).write_text(json.dumps(data))
+
+    def load_cache(self, path: str | Path) -> None:
+        """Seed this session's caches from a :meth:`save_cache` file.
+
+        The cache must describe the same analysis: the same schema (by
+        content fingerprint), the same ``max_loop_iterations``, and for
+        every cached program a same-named workload program whose unfolding
+        matches the cached one — a same-named program whose *statements*
+        changed is rejected rather than silently answered with stale
+        blocks.  Edge blocks themselves are trusted as saved — no block is
+        recomputed, which is the point (verify via :meth:`cache_info`).
+        """
+        data = json.loads(Path(path).read_text())
+        if data.get("format") != CACHE_FORMAT:
+            raise ProgramError(f"{path}: not a {CACHE_FORMAT} file")
+        if data.get("version") != CACHE_VERSION:
+            raise ProgramError(
+                f"{path}: unsupported cache version {data.get('version')!r} "
+                f"(expected {CACHE_VERSION})"
+            )
+        if data["max_loop_iterations"] != self.max_loop_iterations:
+            raise ProgramError(
+                f"{path}: cache was built with max_loop_iterations="
+                f"{data['max_loop_iterations']}, session uses "
+                f"{self.max_loop_iterations}"
+            )
+        unknown = set(data["program_names"]) - set(self.program_names)
+        if unknown:
+            raise ProgramError(
+                f"{path}: cache covers programs {sorted(unknown)!r} that are not "
+                f"in workload {self.workload.name!r}"
+            )
+        if data["schema"] != _schema_fingerprint(self.schema):
+            raise ProgramError(
+                f"{path}: cache was built against a different schema than "
+                f"workload {self.workload.name!r}"
+            )
+        unfolded = {
+            name: tuple(LTP.from_dict(item) for item in ltps)
+            for name, ltps in data["unfolded"].items()
+        }
+        # Unfolding is cheap next to Algorithm 1; re-deriving it here is what
+        # lets us reject a cache whose same-named programs have changed.
+        for name, cached_ltps in unfolded.items():
+            fresh = unfold_program(
+                self.workload.program(name), self.max_loop_iterations
+            )
+            if fresh != cached_ltps:
+                raise ProgramError(
+                    f"{path}: cached program {name!r} differs from the "
+                    f"workload's current version; rebuild the cache"
+                )
+        self._ltps_by_program.update(unfolded)
+        all_ltps = [ltp for ltps in unfolded.values() for ltp in ltps]
+        for entry in data["stores"]:
+            settings = AnalysisSettings.from_label(entry["settings"])
+            store = self.edge_block_store(settings)
+            store.register(all_ltps)
+            for block in entry["blocks"]:
+                store.load_block(
+                    block["source"],
+                    block["target"],
+                    (SummaryEdge.from_dict(item) for item in block["edges"]),
+                )
+
     # -- cache management ---------------------------------------------------
     def cache_info(self) -> dict[str, int]:
-        """Entry counts per memoized stage (for tests and diagnostics)."""
+        """Entry counts per memoized stage (for tests and diagnostics).
+
+        ``block_computations`` counts edge blocks computed by running the
+        pairwise Algorithm 1 loop; blocks seeded by :meth:`load_cache`
+        count under ``blocks_loaded`` instead, so a fully warmed session
+        reports zero computations.
+        """
+        stores = self._stores.values()
         return {
             "unfolded_programs": len(self._ltps_by_program),
             "summary_graphs": len(self._graphs),
             "reports": len(self._reports),
+            "edge_blocks": sum(store.cache_info()["blocks"] for store in stores),
+            "block_computations": sum(
+                store.cache_info()["computed"] for store in stores
+            ),
+            "blocks_loaded": sum(store.cache_info()["loaded"] for store in stores),
         }
 
     def clear_cache(self) -> None:
         """Drop all memoized stages (results are recomputed on demand)."""
         self._ltps_by_program.clear()
+        self._stores.clear()
         self._graphs.clear()
         self._reports.clear()
 

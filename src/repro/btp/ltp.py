@@ -35,6 +35,21 @@ class StatementOccurrence:
         """The underlying statement's name (``q1``, ``q2``, ...)."""
         return self.statement.name
 
+    def to_dict(self) -> dict:
+        return {
+            "statement": self.statement.to_dict(),
+            "position": self.position,
+            "loop_path": [list(pair) for pair in self.loop_path],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatementOccurrence":
+        return cls(
+            statement=Statement.from_dict(data["statement"]),
+            position=int(data["position"]),
+            loop_path=tuple((int(a), int(b)) for a, b in data["loop_path"]),
+        )
+
     def __str__(self) -> str:
         return f"{self.statement.name}@{self.position}"
 
@@ -52,6 +67,17 @@ class FKInstance:
     fk: str
     source_pos: int
     target_pos: int
+
+    def to_dict(self) -> dict:
+        return {"fk": self.fk, "source_pos": self.source_pos, "target_pos": self.target_pos}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FKInstance":
+        return cls(
+            fk=data["fk"],
+            source_pos=int(data["source_pos"]),
+            target_pos=int(data["target_pos"]),
+        )
 
     def __str__(self) -> str:
         return f"[{self.target_pos}] = {self.fk}([{self.source_pos}])"
@@ -160,6 +186,26 @@ class LTP:
     def statement_at(self, position: int) -> Statement:
         """The statement at an occurrence position."""
         return self.occurrences[position].statement
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-compatible view; round-trips through :meth:`from_dict`
+        (the substrate of summary-graph and session-cache persistence)."""
+        return {
+            "name": self.name,
+            "origin": self.origin,
+            "occurrences": [occ.to_dict() for occ in self.occurrences],
+            "constraints": [inst.to_dict() for inst in self.constraints],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LTP":
+        return cls(
+            data["name"],
+            (StatementOccurrence.from_dict(item) for item in data["occurrences"]),
+            (FKInstance.from_dict(item) for item in data["constraints"]),
+            origin=data.get("origin", ""),
+        )
 
     def __str__(self) -> str:
         body = "; ".join(occ.name for occ in self.occurrences) or "ε"

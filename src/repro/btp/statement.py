@@ -268,6 +268,37 @@ class Statement:
             widen(self.write_set),
         )
 
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-compatible view; ⊥ serializes as ``None``, sets as sorted
+        lists.  Round-trips through :meth:`from_dict`."""
+
+        def show(value: AttrSet) -> list[str] | None:
+            return None if value is None else sorted(value)
+
+        return {
+            "name": self.name,
+            "type": self.stype.value,
+            "relation": self.relation,
+            "pread_set": show(self.pread_set),
+            "read_set": show(self.read_set),
+            "write_set": show(self.write_set),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Statement":
+        def read(value: Iterable[str] | None) -> AttrSet:
+            return None if value is None else frozenset(value)
+
+        return cls(
+            name=data["name"],
+            stype=StatementType(data["type"]),
+            relation=data["relation"],
+            pread_set=read(data["pread_set"]),
+            read_set=read(data["read_set"]),
+            write_set=read(data["write_set"]),
+        )
+
     def validate_against(self, relation: Relation) -> None:
         """Check this statement's sets against the relation's attributes."""
         if relation.name != self.relation:

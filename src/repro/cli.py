@@ -10,13 +10,19 @@ Commands:
   [--json]`` — maximal robust subsets;
 * ``graph <workload> [--setting LABEL] [--format dot|text] [--json]`` —
   summary graph rendering;
+* ``cache save <workload> <path> [--setting LABEL] [--all-settings]`` /
+  ``cache load <path> [--workload W]`` — persist a session's unfoldings and
+  pairwise edge blocks to disk and restore them in a fresh process (no edge
+  block is recomputed after a load);
 * ``experiments <table2|figure6|figure7|figure8|false-negatives|all>`` —
   regenerate the paper's evaluation artifacts.
 
-All commands accept any workload source :meth:`Workload.resolve` does.
-``--json`` emits machine-readable reports (``RobustnessReport.to_dict``
-shapes) for embedding in CI pipelines; errors (unknown workloads, missing
-files, malformed workload text) print to stderr and exit with status 2.
+All commands accept any workload source :meth:`Workload.resolve` does, and
+the analysis commands accept ``--jobs N`` to compute pairwise edge blocks
+with ``N`` concurrent workers.  ``--json`` emits machine-readable reports
+(``RobustnessReport.to_dict`` shapes) for embedding in CI pipelines; errors
+(unknown workloads, missing files, malformed workload text) print to stderr
+and exit with status 2.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.session import Analyzer
@@ -64,8 +71,17 @@ def _add_json_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        help="compute pairwise edge blocks with N concurrent workers",
+    )
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload)
+    session = Analyzer(args.workload, jobs=args.jobs)
     subset = _subset_from(args.subset)
     if args.all_settings:
         matrix = session.analyze_matrix(subset)
@@ -84,7 +100,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_subsets(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload)
+    session = Analyzer(args.workload, jobs=args.jobs)
     settings = _settings_from(args.setting)
     subsets = session.maximal_robust_subsets(settings, args.method)
     if args.json:
@@ -112,7 +128,7 @@ def _cmd_subsets(args: argparse.Namespace) -> int:
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload)
+    session = Analyzer(args.workload, jobs=args.jobs)
     graph = session.summary_graph(_settings_from(args.setting))
     if args.json:
         data = {"workload": session.workload.name, **graph.to_dict()}
@@ -121,6 +137,50 @@ def _cmd_graph(args: argparse.Namespace) -> int:
         print(to_dot(graph, name=session.workload.name))
     else:
         print(to_text(graph))
+    return 0
+
+
+def _cmd_cache_save(args: argparse.Namespace) -> int:
+    session = Analyzer(args.workload, jobs=args.jobs)
+    settings_list = ALL_SETTINGS if args.all_settings else [_settings_from(args.setting)]
+    for settings in settings_list:
+        session.summary_graph(settings)
+    session.save_cache(args.path)
+    info = session.cache_info()
+    print(
+        f"saved session cache for {session.workload.name!r} to {args.path}: "
+        f"{info['unfolded_programs']} unfolded programs, "
+        f"{info['edge_blocks']} edge blocks "
+        f"({', '.join(settings.label for settings in settings_list)})"
+    )
+    return 0
+
+
+def _cmd_cache_load(args: argparse.Namespace) -> int:
+    source = args.workload
+    if source is None:
+        data = json.loads(Path(args.path).read_text())
+        source = data.get("source")
+        if source is None:
+            print(
+                f"repro: error: {args.path} does not record a workload source; "
+                "pass --workload",
+                file=sys.stderr,
+            )
+            return 2
+    session = Analyzer(source)
+    session.load_cache(args.path)
+    report = session.analyze(_settings_from(args.setting))
+    info = session.cache_info()
+    if args.json:
+        print(json.dumps({**report.to_dict(), "cache_info": info}, indent=2))
+        return 0
+    print(f"workload: {report.workload}  (cache: {args.path})")
+    print(report.describe())
+    print(
+        f"cache: {info['blocks_loaded']} edge blocks loaded, "
+        f"{info['block_computations']} computed"
+    )
     return 0
 
 
@@ -168,6 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_setting_argument(analyze)
     _add_json_argument(analyze)
+    _add_jobs_argument(analyze)
     analyze.set_defaults(func=_cmd_analyze)
 
     subsets = subparsers.add_parser("subsets", help="maximal robust subsets")
@@ -175,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     subsets.add_argument("--method", choices=["type-II", "type-I"], default="type-II")
     _add_setting_argument(subsets)
     _add_json_argument(subsets)
+    _add_jobs_argument(subsets)
     subsets.set_defaults(func=_cmd_subsets)
 
     graph = subparsers.add_parser("graph", help="render the summary graph")
@@ -182,7 +244,37 @@ def build_parser() -> argparse.ArgumentParser:
     graph.add_argument("--format", choices=["dot", "text"], default="text")
     _add_setting_argument(graph)
     _add_json_argument(graph)
+    _add_jobs_argument(graph)
     graph.set_defaults(func=_cmd_graph)
+
+    cache = subparsers.add_parser(
+        "cache", help="persist and restore session caches (edge blocks)"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_save = cache_sub.add_parser(
+        "save", help="build a session's edge blocks and save them to a file"
+    )
+    cache_save.add_argument("workload")
+    cache_save.add_argument("path", help="destination cache file")
+    cache_save.add_argument(
+        "--all-settings",
+        action="store_true",
+        help="cache blocks for all four Section 7.2 settings",
+    )
+    _add_setting_argument(cache_save)
+    _add_jobs_argument(cache_save)
+    cache_save.set_defaults(func=_cmd_cache_save)
+    cache_load = cache_sub.add_parser(
+        "load", help="restore a saved cache and analyze without recomputation"
+    )
+    cache_load.add_argument("path", help="cache file written by 'cache save'")
+    cache_load.add_argument(
+        "--workload",
+        help="workload source (default: the source recorded in the cache)",
+    )
+    _add_setting_argument(cache_load)
+    _add_json_argument(cache_load)
+    cache_load.set_defaults(func=_cmd_cache_load)
 
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

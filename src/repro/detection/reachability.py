@@ -6,46 +6,89 @@ via the empty path, matching the proof of Proposition 6.5 where the borrowed
 edges of a cycle may coincide.  For efficiency we reason over strongly
 connected components: within an SCC everything reaches everything, and
 between SCCs reachability follows the condensation DAG.
+
+The index is built directly over :attr:`SummaryGraph.program_adjacency`
+with an iterative Tarjan SCC pass and bitmask transitive closures — the
+detection algorithms run once per assembled (subset) graph, so this
+construction is a hot path for subset enumeration and incremental
+re-analysis.
 """
 
 from __future__ import annotations
 
-from functools import cached_property
-
-import networkx as nx
-
 from repro.summary.graph import SummaryGraph
+
+
+def _strongly_connected(adjacency: dict[str, tuple[str, ...]]) -> list[list[str]]:
+    """Tarjan's algorithm, iteratively; components emerge sinks-first
+    (reverse topological order of the condensation DAG)."""
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    components: list[list[str]] = []
+    counter = 0
+    for root in adjacency:
+        if root in index_of:
+            continue
+        work = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            descended = False
+            successors = adjacency[node]
+            for offset in range(child_index, len(successors)):
+                successor = successors[offset]
+                if successor not in index_of:
+                    work.append((node, offset + 1))
+                    work.append((successor, 0))
+                    descended = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[successor])
+            if descended:
+                continue
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
 
 
 class ReachabilityIndex:
     """Precomputed reflexive reachability over a summary graph's programs."""
 
     def __init__(self, graph: SummaryGraph):
-        self._program_graph = graph.program_graph
-
-    @cached_property
-    def _scc_of(self) -> dict[str, int]:
-        mapping: dict[str, int] = {}
-        for index, component in enumerate(nx.strongly_connected_components(self._program_graph)):
+        adjacency = graph.program_adjacency
+        components = _strongly_connected(adjacency)
+        self._scc_of: dict[str, int] = {}
+        for index, component in enumerate(components):
             for node in component:
-                mapping[node] = index
-        return mapping
-
-    @cached_property
-    def _scc_closure(self) -> dict[int, frozenset[int]]:
-        condensation = nx.condensation(self._program_graph, scc=None)
-        # nx.condensation assigns its own component ids; remap to ours.
-        remap: dict[int, int] = {}
-        for cond_id, data in condensation.nodes(data=True):
-            members = data["members"]
-            any_member = next(iter(members))
-            remap[cond_id] = self._scc_of[any_member]
-        closure: dict[int, set[int]] = {remap[node]: {remap[node]} for node in condensation}
-        for cond_id in reversed(list(nx.topological_sort(condensation))):
-            ours = remap[cond_id]
-            for successor in condensation.successors(cond_id):
-                closure[ours] |= closure[remap[successor]]
-        return {scc: frozenset(reachable) for scc, reachable in closure.items()}
+                self._scc_of[node] = index
+        # Components arrive sinks-first, so every successor component's
+        # closure is complete by the time its predecessors are processed.
+        closures = [0] * len(components)
+        for index, component in enumerate(components):
+            mask = 1 << index
+            for node in component:
+                for successor in adjacency[node]:
+                    successor_scc = self._scc_of[successor]
+                    if successor_scc != index:
+                        mask |= closures[successor_scc]
+            closures[index] = mask
+        self._closures = closures
 
     def scc(self, program: str) -> int:
         """The id of the strongly connected component containing a program."""
@@ -53,8 +96,22 @@ class ReachabilityIndex:
 
     def scc_reaches(self, source_scc: int, target_scc: int) -> bool:
         """Reflexive reachability between SCC ids."""
-        return target_scc in self._scc_closure[source_scc]
+        return bool(self._closures[source_scc] >> target_scc & 1)
 
     def reaches(self, source: str, target: str) -> bool:
         """True iff ``target`` is reachable from ``source`` (reflexively)."""
         return self.scc_reaches(self._scc_of[source], self._scc_of[target])
+
+
+def reachability_index(graph: SummaryGraph) -> ReachabilityIndex:
+    """The graph's reachability index, built once per graph instance.
+
+    Both detection methods run over the same freshly assembled graph, so
+    the index is memoized on the graph object itself (graphs are immutable
+    after construction).
+    """
+    index = getattr(graph, "_reachability_index", None)
+    if index is None:
+        index = ReachabilityIndex(graph)
+        graph._reachability_index = index
+    return index

@@ -18,6 +18,7 @@ from repro.detection.typeii import is_robust_type2
 from repro.schema import Schema
 from repro.summary.construct import construct_summary_graph
 from repro.summary.graph import SummaryGraph
+from repro.summary.pairwise import EdgeBlockStore
 from repro.summary.settings import AnalysisSettings
 
 Method = Callable[[SummaryGraph], bool]
@@ -46,10 +47,11 @@ def is_robust(
     settings: AnalysisSettings = AnalysisSettings(),
     method: str | Method = "type-II",
     max_loop_iterations: int = 2,
+    jobs: int | None = None,
 ) -> bool:
     """Unfold, build the summary graph, and run the chosen detection method."""
     ltps = unfold(programs, max_loop_iterations)
-    graph = construct_summary_graph(ltps, schema, settings)
+    graph = construct_summary_graph(ltps, schema, settings, jobs=jobs)
     return _resolve_method(method)(graph)
 
 
@@ -68,17 +70,22 @@ def enumerate_robust_subsets(
     """
     ordered = sorted(names)
     verdicts: dict[frozenset[str], bool] = {}
+    # Only *attested* robust sets (those check_combo confirmed) can make a
+    # candidate inherit robustness: every inherited-robust set is itself a
+    # subset of an attested one, so scanning the short attested list is
+    # equivalent to scanning the whole verdicts dict — without the quadratic
+    # blow-up in the number of subsets.
+    attested: list[frozenset[str]] = []
     for size in range(len(ordered), 0, -1):
         for combo in itertools.combinations(ordered, size):
             subset = frozenset(combo)
-            if any(
-                subset < other and robust
-                for other, robust in verdicts.items()
-                if robust
-            ):
+            if any(subset < other for other in attested):
                 verdicts[subset] = True
                 continue
-            verdicts[subset] = check_combo(combo)
+            robust = check_combo(combo)
+            verdicts[subset] = robust
+            if robust:
+                attested.append(subset)
     return verdicts
 
 
@@ -100,24 +107,33 @@ def robust_subsets(
     schema: Schema,
     settings: AnalysisSettings = AnalysisSettings(),
     method: str | Method = "type-II",
+    max_loop_iterations: int = 2,
+    jobs: int | None = None,
 ) -> dict[frozenset[str], bool]:
     """Robustness verdict for every non-empty subset of the programs.
 
-    Subsets are keyed by the frozenset of program (BTP) names.  Every tested
-    subset pays the full pipeline (unfold + Algorithm 1); prefer
-    :meth:`repro.analysis.Analyzer.robust_subsets`, which builds the summary
-    graph once and restricts it per subset.
+    Subsets are keyed by the frozenset of program (BTP) names.  Unfolding
+    happens once and the enumeration is driven off a shared
+    :class:`~repro.summary.pairwise.EdgeBlockStore`: each candidate subset's
+    ``SuG`` is assembled from cached pairwise edge blocks (exact, because
+    Algorithm 1 adds edges per ordered pair of programs), so no block is
+    ever computed twice.  ``max_loop_iterations`` is forwarded to
+    ``unfold`` (it previously hard-defaulted to 2, disagreeing with
+    :func:`is_robust`); ``jobs`` parallelizes block computation.
     """
     check = _resolve_method(method)
-    by_name = {program.name: program for program in programs}
+    ltps = unfold(programs, max_loop_iterations)
+    store = EdgeBlockStore(schema, settings, jobs=jobs)
+    store.register(ltps)
+    ltps_by_origin: dict[str, list[str]] = {program.name: [] for program in programs}
+    for ltp in ltps:
+        ltps_by_origin[ltp.origin].append(ltp.name)
 
     def check_combo(combo: tuple[str, ...]) -> bool:
-        graph = construct_summary_graph(
-            unfold([by_name[name] for name in combo]), schema, settings
-        )
-        return check(graph)
+        keep = [name for origin in combo for name in ltps_by_origin[origin]]
+        return check(store.graph(keep))
 
-    return enumerate_robust_subsets(by_name, check_combo)
+    return enumerate_robust_subsets(ltps_by_origin, check_combo)
 
 
 def maximal_robust_subsets(
@@ -125,9 +141,13 @@ def maximal_robust_subsets(
     schema: Schema,
     settings: AnalysisSettings = AnalysisSettings(),
     method: str | Method = "type-II",
+    max_loop_iterations: int = 2,
+    jobs: int | None = None,
 ) -> tuple[frozenset[str], ...]:
     """The maximal robust subsets, largest first (as listed in Figures 6/7)."""
-    return maximal_subsets(robust_subsets(programs, schema, settings, method))
+    return maximal_subsets(
+        robust_subsets(programs, schema, settings, method, max_loop_iterations, jobs)
+    )
 
 
 def format_subsets(subsets: Iterable[frozenset[str]], abbreviations: dict[str, str] | None = None) -> str:

@@ -10,14 +10,14 @@ instantiations of the same program).
 
 from __future__ import annotations
 
-from repro.detection.reachability import ReachabilityIndex
+from repro.detection.reachability import reachability_index
 from repro.detection.witness import CycleWitness, connecting_edges
 from repro.summary.graph import SummaryGraph
 
 
 def is_robust_type1(graph: SummaryGraph) -> bool:
     """True iff the summary graph contains no type-I cycle."""
-    reach = ReachabilityIndex(graph)
+    reach = reachability_index(graph)
     return not any(
         reach.reaches(edge.target, edge.source) for edge in graph.counterflow_edges
     )
@@ -25,7 +25,7 @@ def is_robust_type1(graph: SummaryGraph) -> bool:
 
 def find_type1_violation(graph: SummaryGraph) -> CycleWitness | None:
     """A witness cycle containing a counterflow edge, or None if robust."""
-    reach = ReachabilityIndex(graph)
+    reach = reachability_index(graph)
     for edge in graph.counterflow_edges:
         if reach.reaches(edge.target, edge.source):
             back_path = connecting_edges(graph, edge.target, edge.source)

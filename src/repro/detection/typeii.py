@@ -18,7 +18,7 @@ per strongly-connected-component pair, whether some non-counterflow edge
 from __future__ import annotations
 
 from repro.btp.statement import StatementType
-from repro.detection.reachability import ReachabilityIndex
+from repro.detection.reachability import reachability_index
 from repro.detection.witness import CycleWitness, connecting_edges
 from repro.summary.graph import SummaryEdge, SummaryGraph
 
@@ -34,6 +34,23 @@ READ_TRIGGER_TYPES = frozenset(
 )
 
 
+def _read_trigger_sources(graph: SummaryGraph) -> frozenset[tuple[str, str]]:
+    """The ``(program, statement)`` pairs whose statement is an R- or
+    PR-operation, memoized on the graph (graphs are immutable after
+    construction, and Algorithm 2 tests the condition once per adjacent
+    edge pair — far more often than there are distinct statements)."""
+    triggers = getattr(graph, "_read_trigger_source_set", None)
+    if triggers is None:
+        triggers = frozenset(
+            (program.name, name)
+            for program in graph.programs
+            for name, stmt in program.statements_by_name.items()
+            if stmt.stype in READ_TRIGGER_TYPES
+        )
+        graph._read_trigger_source_set = triggers
+    return triggers
+
+
 def _ordered_pair_condition(graph: SummaryGraph, e2: SummaryEdge, e3: SummaryEdge) -> bool:
     """The parenthesised condition of Algorithm 2 for adjacent ``e2``, ``e3``.
 
@@ -46,13 +63,12 @@ def _ordered_pair_condition(graph: SummaryGraph, e2: SummaryEdge, e3: SummaryEdg
         return True
     if e3.source_pos < e2.target_pos:
         return True
-    q3 = graph.source_statement(e2)
-    return q3.stype in READ_TRIGGER_TYPES
+    return (e2.source, e2.source_stmt) in _read_trigger_sources(graph)
 
 
 def is_robust_type2_naive(graph: SummaryGraph) -> bool:
     """Algorithm 2 as written in the paper (triple loop over edges)."""
-    reach = ReachabilityIndex(graph)
+    reach = reachability_index(graph)
     counterflow_by_source = graph.counterflow_by_source
     for e1 in graph.non_counterflow_edges:
         for e2 in graph.edges:
@@ -68,12 +84,16 @@ def is_robust_type2_naive(graph: SummaryGraph) -> bool:
 
 def _dangerous_pairs(graph: SummaryGraph) -> list[tuple[SummaryEdge, SummaryEdge]]:
     """All adjacent pairs ``(e2, e3)`` satisfying the Algorithm 2 condition."""
-    edges_by_target: dict[str, list[SummaryEdge]] = {}
+    counterflow_sources = {e3.source for e3 in graph.counterflow_edges}
+    edges_by_target: dict[str, list[SummaryEdge]] = {
+        name: [] for name in counterflow_sources
+    }
     for edge in graph.edges:
-        edges_by_target.setdefault(edge.target, []).append(edge)
+        if edge.target in edges_by_target:
+            edges_by_target[edge.target].append(edge)
     pairs = []
     for e3 in graph.counterflow_edges:
-        for e2 in edges_by_target.get(e3.source, ()):
+        for e2 in edges_by_target[e3.source]:
             if _ordered_pair_condition(graph, e2, e3):
                 pairs.append((e2, e3))
     return pairs
@@ -89,7 +109,7 @@ def find_type2_violation(graph: SummaryGraph) -> CycleWitness | None:
     """
     if not graph.counterflow_edges or not graph.non_counterflow_edges:
         return None
-    reach = ReachabilityIndex(graph)
+    reach = reachability_index(graph)
 
     dangerous_by_scc: dict[tuple[int, int], tuple[SummaryEdge, SummaryEdge]] = {}
     for e2, e3 in _dangerous_pairs(graph):

@@ -85,8 +85,33 @@ def connecting_edges(graph: SummaryGraph, source: str, target: str) -> list[Summ
     """
     if source == target:
         return []
-    path = nx.shortest_path(graph.program_graph, source, target)
-    edges = []
-    for here, there in zip(path, path[1:]):
-        edges.append(graph.edges_between(here, there)[0])
-    return edges
+    # Plain BFS over the successor lists: witnesses are built on the hot
+    # incremental/subset path, where a networkx graph per call is too dear.
+    adjacency = graph.program_adjacency
+    predecessor: dict[str, str] = {source: source}
+    frontier = [source]
+    while frontier and target not in predecessor:
+        next_frontier: list[str] = []
+        for here in frontier:
+            for there in adjacency[here]:
+                if there not in predecessor:
+                    predecessor[there] = here
+                    next_frontier.append(there)
+        frontier = next_frontier
+    if target not in predecessor:
+        raise nx.NetworkXNoPath(f"no path from {source!r} to {target!r}")
+    path = [target]
+    while path[-1] != source:
+        path.append(predecessor[path[-1]])
+    path.reverse()
+    # Not edges_between: that materializes the full (source, target) index,
+    # and witnesses are built on freshly assembled graphs (incremental and
+    # subset paths) whose index would be populated for this one lookup.  A
+    # single targeted pass over the edge list stays proportional to |E|
+    # without the per-pair allocations.
+    wanted = {pair: None for pair in zip(path, path[1:])}
+    for edge in graph.edges:
+        pair = (edge.source, edge.target)
+        if pair in wanted and wanted[pair] is None:
+            wanted[pair] = edge
+    return [wanted[pair] for pair in zip(path, path[1:])]

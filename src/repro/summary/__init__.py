@@ -10,6 +10,7 @@ foreign-key conditions ``ncDepConds`` and ``cDepConds``.
 
 from repro.summary.construct import build_summary_graph, construct_summary_graph
 from repro.summary.graph import SummaryEdge, SummaryGraph, SummaryStats
+from repro.summary.pairwise import EdgeBlockStore, pair_edges
 from repro.summary.settings import (
     ALL_SETTINGS,
     ATTR_DEP,
@@ -28,6 +29,8 @@ __all__ = [
     "SummaryStats",
     "construct_summary_graph",
     "build_summary_graph",
+    "EdgeBlockStore",
+    "pair_edges",
     "AnalysisSettings",
     "Granularity",
     "TPL_DEP",

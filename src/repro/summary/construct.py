@@ -7,90 +7,50 @@ counterflow edge is added.  Statements are compared at the granularity
 chosen in the :class:`~repro.summary.settings.AnalysisSettings` — the
 tuple-granularity settings widen every defined attribute set to the full
 attribute set of the relation first.
+
+The construction itself lives in :mod:`repro.summary.pairwise`: edges are
+computed per ordered pair of programs (:func:`~repro.summary.pairwise.pair_edges`)
+and concatenated, which is what lets the
+:class:`~repro.summary.pairwise.EdgeBlockStore` cache, parallelize, and
+incrementally recompute blocks.  :func:`construct_summary_graph` is the
+classic monolithic entry point, kept as a thin wrapper with edge-for-edge
+identical output.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.btp.ltp import LTP
 from repro.btp.program import BTP
-from repro.btp.statement import Statement
+from repro.btp.ltp import LTP
 from repro.btp.unfold import unfold
 from repro.errors import ProgramError
 from repro.schema import Schema
-from repro.summary.conditions import c_dep_conds, nc_dep_conds
-from repro.summary.graph import SummaryEdge, SummaryGraph
-from repro.summary.settings import AnalysisSettings, Granularity
-from repro.summary.tables import C_DEP_TABLE, NC_DEP_TABLE
+from repro.summary.graph import SummaryGraph
+from repro.summary.pairwise import EdgeBlockStore, effective_statements
+from repro.summary.settings import AnalysisSettings
 
-
-def _effective_statements(
-    program: LTP, schema: Schema, granularity: Granularity
-) -> dict[str, Statement]:
-    """The program's distinct statements, widened under tuple granularity."""
-    statements = program.statements_by_name
-    if granularity is Granularity.ATTRIBUTE:
-        return dict(statements)
-    return {
-        name: stmt.widened(schema.attributes(stmt.relation))
-        for name, stmt in statements.items()
-    }
+# Re-exported for backward compatibility (pre-pairwise import path).
+_effective_statements = effective_statements
 
 
 def construct_summary_graph(
     programs: Sequence[LTP],
     schema: Schema,
     settings: AnalysisSettings = AnalysisSettings(),
+    jobs: int | None = None,
 ) -> SummaryGraph:
-    """``constructSuG(𝒫)`` of Algorithm 1 over already-unfolded LTPs."""
+    """``constructSuG(𝒫)`` of Algorithm 1 over already-unfolded LTPs.
+
+    ``jobs`` computes the pairwise edge blocks with that many concurrent
+    workers (serial when ``None`` or ``1``).
+    """
     names = [program.name for program in programs]
     if len(set(names)) != len(names):
         raise ProgramError(f"duplicate LTP names: {names!r}")
-
-    effective = {
-        program.name: _effective_statements(program, schema, settings.granularity)
-        for program in programs
-    }
-    edges: list[SummaryEdge] = []
-    for program_i in programs:
-        statements_i = effective[program_i.name]
-        for program_j in programs:
-            statements_j = effective[program_j.name]
-            for occ_i in program_i:
-                qi = statements_i[occ_i.name]
-                for occ_j in program_j:
-                    qj = statements_j[occ_j.name]
-                    if qi.relation != qj.relation:
-                        continue
-                    type_pair = (qi.stype, qj.stype)
-                    nc_entry = NC_DEP_TABLE[type_pair]
-                    if nc_entry is True or (nc_entry is None and nc_dep_conds(qi, qj)):
-                        edges.append(
-                            SummaryEdge(
-                                program_i.name, occ_i.name, occ_i.position,
-                                False,
-                                occ_j.name, occ_j.position, program_j.name,
-                            )
-                        )
-                    c_entry = C_DEP_TABLE[type_pair]
-                    if c_entry is True or (
-                        c_entry is None
-                        and c_dep_conds(
-                            qi, qj, program_i, program_j,
-                            settings.use_foreign_keys,
-                            source_pos=occ_i.position,
-                            target_pos=occ_j.position,
-                        )
-                    ):
-                        edges.append(
-                            SummaryEdge(
-                                program_i.name, occ_i.name, occ_i.position,
-                                True,
-                                occ_j.name, occ_j.position, program_j.name,
-                            )
-                        )
-    return SummaryGraph(programs, edges)
+    store = EdgeBlockStore(schema, settings)
+    store.register(programs)
+    return store.graph(names, jobs=jobs)
 
 
 def build_summary_graph(
@@ -98,7 +58,8 @@ def build_summary_graph(
     schema: Schema,
     settings: AnalysisSettings = AnalysisSettings(),
     max_loop_iterations: int = 2,
+    jobs: int | None = None,
 ) -> SummaryGraph:
     """Unfold a set of BTPs (``Unfold≤2`` by default) and run Algorithm 1."""
     ltps = unfold(programs, max_loop_iterations)
-    return construct_summary_graph(ltps, schema, settings)
+    return construct_summary_graph(ltps, schema, settings, jobs=jobs)

@@ -132,6 +132,17 @@ class SummaryGraph:
             if edge.source not in self._programs or edge.target not in self._programs:
                 raise ProgramError(f"edge {edge} references unknown program")
 
+    @classmethod
+    def _assembled(
+        cls, programs: dict[str, LTP], edges: tuple[SummaryEdge, ...]
+    ) -> "SummaryGraph":
+        """Internal constructor for callers that guarantee consistency
+        (edge-block assembly), skipping the per-edge validation pass."""
+        graph = cls.__new__(cls)
+        graph._programs = programs
+        graph._edges = edges
+        return graph
+
     # -- nodes -------------------------------------------------------------
     @property
     def programs(self) -> tuple[LTP, ...]:
@@ -165,12 +176,22 @@ class SummaryGraph:
         return iter(self._edges)
 
     @cached_property
-    def counterflow_edges(self) -> tuple[SummaryEdge, ...]:
-        return tuple(edge for edge in self._edges if edge.counterflow)
+    def _edges_by_colour(
+        self,
+    ) -> tuple[tuple[SummaryEdge, ...], tuple[SummaryEdge, ...]]:
+        counterflow: list[SummaryEdge] = []
+        non_counterflow: list[SummaryEdge] = []
+        for edge in self._edges:
+            (counterflow if edge.counterflow else non_counterflow).append(edge)
+        return tuple(counterflow), tuple(non_counterflow)
 
-    @cached_property
+    @property
+    def counterflow_edges(self) -> tuple[SummaryEdge, ...]:
+        return self._edges_by_colour[0]
+
+    @property
     def non_counterflow_edges(self) -> tuple[SummaryEdge, ...]:
-        return tuple(edge for edge in self._edges if not edge.counterflow)
+        return self._edges_by_colour[1]
 
     @cached_property
     def counterflow_by_source(self) -> dict[str, tuple[SummaryEdge, ...]]:
@@ -180,11 +201,17 @@ class SummaryGraph:
             grouped[edge.source].append(edge)
         return {name: tuple(edges) for name, edges in grouped.items()}
 
+    @cached_property
+    def _edges_by_pair(self) -> dict[tuple[str, str], tuple[SummaryEdge, ...]]:
+        """Edges indexed by ``(source, target)`` program pair."""
+        grouped: dict[tuple[str, str], list[SummaryEdge]] = {}
+        for edge in self._edges:
+            grouped.setdefault((edge.source, edge.target), []).append(edge)
+        return {pair: tuple(edges) for pair, edges in grouped.items()}
+
     def edges_between(self, source: str, target: str) -> tuple[SummaryEdge, ...]:
-        """All edges from one program to another."""
-        return tuple(
-            edge for edge in self._edges if edge.source == source and edge.target == target
-        )
+        """All edges from one program to another (indexed, O(1) per call)."""
+        return self._edges_by_pair.get((source, target), ())
 
     def restricted_to(self, names: Iterable[str]) -> "SummaryGraph":
         """The induced subgraph over the given LTP node names.
@@ -217,6 +244,19 @@ class SummaryGraph:
         return self.program(edge.target).statement_at(edge.target_pos)
 
     # -- projections and statistics ----------------------------------------
+    @cached_property
+    def program_adjacency(self) -> dict[str, tuple[str, ...]]:
+        """Program-level successor lists (deduplicated, every node present).
+
+        The lightweight counterpart of :attr:`program_graph` used by the
+        detection algorithms — building it avoids the cost of a full
+        :mod:`networkx` graph on the hot path.
+        """
+        successors: dict[str, dict[str, None]] = {name: {} for name in self._programs}
+        for edge in self._edges:
+            successors[edge.source][edge.target] = None
+        return {name: tuple(targets) for name, targets in successors.items()}
+
     @cached_property
     def program_graph(self) -> "nx.DiGraph":
         """The program-level projection (one node per LTP, unlabelled edges)."""
@@ -261,12 +301,32 @@ class SummaryGraph:
             program_names=self.program_names,
         )
 
-    def to_dict(self, include_edges: bool = True) -> dict:
-        """A JSON-compatible view: statistics plus (optionally) all edges."""
+    def to_dict(self, include_edges: bool = True, include_programs: bool = False) -> dict:
+        """A JSON-compatible view: statistics plus (optionally) all edges.
+
+        With ``include_programs`` the LTP nodes serialize too, so the result
+        round-trips through :meth:`from_dict` into a fully functional graph
+        (edges alone always round-tripped; whole graphs previously did not).
+        """
         data: dict = {"stats": self.stats.to_dict()}
         if include_edges:
             data["edges"] = [edge.to_dict() for edge in self._edges]
+        if include_programs:
+            data["programs"] = [program.to_dict() for program in self.programs]
         return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SummaryGraph":
+        """Rebuild a graph from ``to_dict(include_programs=True)`` output."""
+        if "programs" not in data:
+            raise ProgramError(
+                "cannot rebuild a summary graph without its programs; "
+                "serialize with to_dict(include_programs=True)"
+            )
+        return cls(
+            (LTP.from_dict(item) for item in data["programs"]),
+            (SummaryEdge.from_dict(item) for item in data.get("edges", ())),
+        )
 
     def describe(self) -> str:
         """A short multi-line summary (nodes, edge counts)."""

@@ -1,0 +1,325 @@
+"""The pairwise edge-block engine behind Algorithm 1.
+
+Algorithm 1 adds summary-graph edges per *ordered pair* of programs,
+looking only at the two programs involved.  This module makes that
+structure explicit: :func:`pair_edges` computes the edge block of one
+ordered pair ``(P_i, P_j)`` as an independent unit, and
+:class:`EdgeBlockStore` caches blocks so that ``SuG(𝒫')`` for *any*
+subset ``𝒫' ⊆ 𝒫`` is assembled by concatenating the cached blocks of its
+ordered pairs — edge-for-edge identical to running the monolithic loop of
+:func:`repro.summary.construct.construct_summary_graph` over ``𝒫'``.
+
+The block structure is what enables
+
+* **incremental re-analysis** — replacing one program invalidates only the
+  blocks whose source or target belongs to it (``≤ 2n − 1`` of the ``n²``
+  program-pair blocks), everything else stays cached;
+* **parallel construction** — blocks are independent, so missing ones can
+  be computed concurrently (``jobs=`` uses :mod:`concurrent.futures`);
+* **persistence** — blocks are plain edge lists that serialize with
+  :meth:`repro.summary.graph.SummaryEdge.to_dict` and can be seeded back
+  via :meth:`EdgeBlockStore.load_block` (the substrate of
+  :meth:`repro.analysis.Analyzer.save_cache`).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+from repro.btp.ltp import LTP
+from repro.btp.statement import Statement
+from repro.errors import ProgramError
+from repro.schema import Schema
+from repro.summary.conditions import c_dep_conds, nc_dep_conds
+from repro.summary.graph import SummaryEdge, SummaryGraph
+from repro.summary.settings import AnalysisSettings, Granularity
+from repro.summary.tables import C_DEP_TABLE, NC_DEP_TABLE
+
+
+def effective_statements(
+    program: LTP, schema: Schema, granularity: Granularity
+) -> dict[str, Statement]:
+    """The program's distinct statements, widened under tuple granularity."""
+    statements = program.statements_by_name
+    if granularity is Granularity.ATTRIBUTE:
+        return dict(statements)
+    return {
+        name: stmt.widened(schema.attributes(stmt.relation))
+        for name, stmt in statements.items()
+    }
+
+
+def _pair_edges(
+    program_i: LTP,
+    statements_i: dict[str, Statement],
+    program_j: LTP,
+    statements_j: dict[str, Statement],
+    settings: AnalysisSettings,
+) -> tuple[SummaryEdge, ...]:
+    """The edge block of one ordered pair, over pre-widened statements.
+
+    The occurrence loops and the non-counterflow/counterflow interleaving
+    reproduce the monolithic Algorithm 1 loop exactly, so concatenating
+    blocks in ordered-pair order yields the identical edge sequence.
+    """
+    edges: list[SummaryEdge] = []
+    for occ_i in program_i:
+        qi = statements_i[occ_i.name]
+        for occ_j in program_j:
+            qj = statements_j[occ_j.name]
+            if qi.relation != qj.relation:
+                continue
+            type_pair = (qi.stype, qj.stype)
+            nc_entry = NC_DEP_TABLE[type_pair]
+            if nc_entry is True or (nc_entry is None and nc_dep_conds(qi, qj)):
+                edges.append(
+                    SummaryEdge(
+                        program_i.name, occ_i.name, occ_i.position,
+                        False,
+                        occ_j.name, occ_j.position, program_j.name,
+                    )
+                )
+            c_entry = C_DEP_TABLE[type_pair]
+            if c_entry is True or (
+                c_entry is None
+                and c_dep_conds(
+                    qi, qj, program_i, program_j,
+                    settings.use_foreign_keys,
+                    source_pos=occ_i.position,
+                    target_pos=occ_j.position,
+                )
+            ):
+                edges.append(
+                    SummaryEdge(
+                        program_i.name, occ_i.name, occ_i.position,
+                        True,
+                        occ_j.name, occ_j.position, program_j.name,
+                    )
+                )
+    return tuple(edges)
+
+
+def pair_edges(
+    program_i: LTP,
+    program_j: LTP,
+    schema: Schema,
+    settings: AnalysisSettings = AnalysisSettings(),
+) -> tuple[SummaryEdge, ...]:
+    """All edges Algorithm 1 adds for the ordered pair ``(P_i, P_j)``.
+
+    Looks only at the two programs involved (self-pairs included):
+    ``SuG(𝒫)`` is exactly the concatenation of ``pair_edges(P_i, P_j)``
+    over all ordered pairs of ``𝒫``.
+    """
+    statements_i = effective_statements(program_i, schema, settings.granularity)
+    if program_j is program_i:
+        statements_j = statements_i
+    else:
+        statements_j = effective_statements(program_j, schema, settings.granularity)
+    return _pair_edges(program_i, statements_i, program_j, statements_j, settings)
+
+
+class EdgeBlockStore:
+    """A cache of pairwise edge blocks for one ``(schema, settings)``.
+
+    Register LTPs with :meth:`register`, then :meth:`graph` assembles
+    ``SuG`` over any subset of them from cached blocks, computing only the
+    blocks not seen before.  :meth:`discard` drops a program together with
+    every block it participates in (the incremental-re-analysis primitive),
+    and :meth:`load_block` seeds blocks from persisted edge lists without
+    recomputation.
+
+    Stores are not thread-safe; ``jobs`` parallelism is internal (missing
+    blocks of one :meth:`graph`/:meth:`ensure_blocks` call are computed
+    concurrently, then installed from the calling thread).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        settings: AnalysisSettings = AnalysisSettings(),
+        jobs: int | None = None,
+    ):
+        self.schema = schema
+        self.settings = settings
+        self.jobs = jobs
+        self._ltps: dict[str, LTP] = {}
+        self._effective: dict[str, dict[str, Statement]] = {}
+        self._blocks: dict[tuple[str, str], tuple[SummaryEdge, ...]] = {}
+        self._computed = 0
+        self._loaded = 0
+        self._hits = 0
+
+    # -- program registration ----------------------------------------------
+    def register(self, ltps: Iterable[LTP]) -> None:
+        """Add LTPs to the store (idempotent for already-known programs).
+
+        Re-registering a name with a *different* program is an error; use
+        :meth:`discard` first (that is what incremental replacement does).
+        """
+        for ltp in ltps:
+            known = self._ltps.get(ltp.name)
+            if known is None:
+                self._ltps[ltp.name] = ltp
+                self._effective[ltp.name] = effective_statements(
+                    ltp, self.schema, self.settings.granularity
+                )
+            elif known is not ltp and known != ltp:
+                raise ProgramError(
+                    f"edge-block store already holds a different program named "
+                    f"{ltp.name!r}; discard it before re-registering"
+                )
+
+    def discard(self, names: Iterable[str]) -> None:
+        """Drop programs and every cached block they participate in."""
+        dropped = {name for name in names if name in self._ltps}
+        for name in dropped:
+            del self._ltps[name]
+            del self._effective[name]
+        if dropped:
+            self._blocks = {
+                pair: block
+                for pair, block in self._blocks.items()
+                if pair[0] not in dropped and pair[1] not in dropped
+            }
+
+    @property
+    def ltp_names(self) -> tuple[str, ...]:
+        """Registered LTP names, in registration order."""
+        return tuple(self._ltps)
+
+    def ltp(self, name: str) -> LTP:
+        try:
+            return self._ltps[name]
+        except KeyError:
+            raise ProgramError(f"edge-block store: unknown program {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ltps
+
+    # -- blocks -------------------------------------------------------------
+    def _compute(self, pair: tuple[str, str]) -> tuple[SummaryEdge, ...]:
+        source, target = pair
+        return _pair_edges(
+            self._ltps[source],
+            self._effective[source],
+            self._ltps[target],
+            self._effective[target],
+            self.settings,
+        )
+
+    def block(self, source: str, target: str) -> tuple[SummaryEdge, ...]:
+        """The edge block of one ordered pair, from cache or computed now."""
+        pair = (source, target)
+        cached = self._blocks.get(pair)
+        if cached is not None:
+            self._hits += 1
+            return cached
+        for name in pair:
+            if name not in self._ltps:
+                raise ProgramError(f"edge-block store: unknown program {name!r}")
+        block = self._compute(pair)
+        self._blocks[pair] = block
+        self._computed += 1
+        return block
+
+    def load_block(
+        self, source: str, target: str, edges: Iterable[SummaryEdge]
+    ) -> None:
+        """Seed one block from persisted edges (no recomputation)."""
+        for name in (source, target):
+            if name not in self._ltps:
+                raise ProgramError(f"edge-block store: unknown program {name!r}")
+        if (source, target) not in self._blocks:
+            self._loaded += 1
+        self._blocks[(source, target)] = tuple(edges)
+
+    def ensure_blocks(
+        self, names: Sequence[str] | None = None, jobs: int | None = None
+    ) -> int:
+        """Compute every missing block among ``names`` (all registered when
+        ``None``), in parallel when ``jobs`` (or the store default) asks
+        for more than one worker.  Returns the number of blocks computed."""
+        if names is None:
+            names = self.ltp_names
+        missing = [
+            (source, target)
+            for source in names
+            for target in names
+            if (source, target) not in self._blocks
+        ]
+        if not missing:
+            return 0
+        for source, target in missing:
+            for name in (source, target):
+                if name not in self._ltps:
+                    raise ProgramError(
+                        f"edge-block store: unknown program {name!r}"
+                    )
+        workers = self.jobs if jobs is None else jobs
+        if workers is not None and workers > 1 and len(missing) > 1:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                computed = list(pool.map(self._compute, missing))
+            for pair, block in zip(missing, computed):
+                self._blocks[pair] = block
+                self._computed += 1
+        else:
+            for pair in missing:
+                self._blocks[pair] = self._compute(pair)
+                self._computed += 1
+        return len(missing)
+
+    # -- assembly -----------------------------------------------------------
+    def graph(
+        self, names: Sequence[str] | None = None, jobs: int | None = None
+    ) -> SummaryGraph:
+        """``SuG`` over ``names`` (all registered programs when ``None``),
+        assembled by concatenating blocks in ordered-pair order — the edge
+        sequence is identical to the monolithic Algorithm 1 loop."""
+        if names is None:
+            names = self.ltp_names
+        else:
+            names = list(names)
+            if len(set(names)) != len(names):
+                raise ProgramError(f"duplicate LTP names: {names!r}")
+        freshly_computed = self.ensure_blocks(names, jobs=jobs)
+        blocks = self._blocks
+        edges: list[SummaryEdge] = []
+        for source in names:
+            for target in names:
+                edges.extend(blocks[(source, target)])
+        self._hits += len(names) * len(names) - freshly_computed
+        return SummaryGraph._assembled(
+            {name: self.ltp(name) for name in names}, tuple(edges)
+        )
+
+    # -- diagnostics --------------------------------------------------------
+    def cache_info(self) -> dict[str, int]:
+        """Block-cache counters: size, computations, loads, and hits."""
+        return {
+            "programs": len(self._ltps),
+            "blocks": len(self._blocks),
+            "computed": self._computed,
+            "loaded": self._loaded,
+            "hits": self._hits,
+        }
+
+    def blocks(self) -> dict[tuple[str, str], tuple[SummaryEdge, ...]]:
+        """A snapshot of all cached blocks (for persistence)."""
+        return dict(self._blocks)
+
+    def clear(self) -> None:
+        """Drop all programs, blocks, and counters."""
+        self._ltps.clear()
+        self._effective.clear()
+        self._blocks.clear()
+        self._computed = 0
+        self._loaded = 0
+        self._hits = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeBlockStore(settings={self.settings.label!r}, "
+            f"programs={len(self._ltps)}, blocks={len(self._blocks)})"
+        )

@@ -105,6 +105,7 @@ class TestAnalyzerStages:
         session.clear_cache()
         assert session.cache_info() == {
             "unfolded_programs": 0, "summary_graphs": 0, "reports": 0,
+            "edge_blocks": 0, "block_computations": 0, "blocks_loaded": 0,
         }
         assert session.analyze(ATTR_DEP_FK).to_dict() == before.to_dict()
 
