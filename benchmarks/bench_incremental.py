@@ -11,9 +11,15 @@ scratch.
 The benchmark edits one ``FindBids_i`` program of Auction(n) back and forth
 between two versions, timing (a) a fresh session per edit (full rebuild) and
 (b) one warm session using ``replace_program`` (incremental), and gates a
->=5x speedup on the best-of-R per-edit times (single edits are
+>=3x speedup on the best-of-R per-edit times (single edits are
 millisecond-scale, so one GC pause or CPU-steal spike must not fail the
 gate).  Reports of both paths are checked for equality on every repetition.
+
+The gate was >=5x before the compiled interference kernel
+(``benchmarks/bench_kernel.py``): the kernel made the *rebuild* baseline
+~3x faster, so the ratio compressed even though incremental edits also got
+~2x faster in absolute terms — the per-edit floor is now the graph assembly
+and Algorithm 2 run that both paths share, not block recomputation.
 
 Run with:  PYTHONPATH=src python benchmarks/bench_incremental.py [--scale N]
            [--repetitions R] [--threshold X]
@@ -24,6 +30,8 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+
+from conftest import record_benchmark
 
 from repro.analysis import Analyzer
 from repro.btp.program import BTP, seq
@@ -77,8 +85,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--threshold",
         type=float,
-        default=5.0,
-        help="required speedup of incremental replace vs full rebuild",
+        default=3.0,
+        help="required speedup of incremental replace vs full rebuild "
+        "(recalibrated from 5.0: the compiled kernel sped the rebuild "
+        "baseline up ~3x, compressing the ratio)",
     )
     args = parser.parse_args(argv)
 
@@ -125,6 +135,20 @@ def main(argv=None) -> int:
         f"full rebuild: {rebuild_best * 1e3:8.1f} ms/edit   "
         f"incremental: {incremental_best * 1e3:8.1f} ms/edit   "
         f"speedup: {speedup:.1f}x  (best of {args.repetitions})"
+    )
+    record_benchmark(
+        "incremental",
+        {
+            "workload": f"Auction({args.scale})",
+            "programs": len(workload.programs),
+            "edge_blocks": info["edge_blocks"],
+            "blocks_recomputed_per_edit": recomputed,
+            "rebuild_seconds_per_edit": rebuild_best,
+            "incremental_seconds_per_edit": incremental_best,
+            "speedup": speedup,
+            "threshold": args.threshold,
+            "repetitions": args.repetitions,
+        },
     )
     if speedup < args.threshold:
         print(f"FAIL: incremental speedup {speedup:.1f}x < {args.threshold:.1f}x")

@@ -1,0 +1,322 @@
+"""Benchmark: the compiled interference kernel vs the frozenset path.
+
+Three gates, one parity sweep:
+
+1. **Single-core kernel throughput** — computing every pairwise edge block
+   of Auction(N) (N=24 by default) via the compiled profiles
+   (:func:`repro.summary.pairwise.compile_profile` +
+   :func:`~repro.summary.pairwise._pair_block`, the path
+   :class:`~repro.summary.pairwise.EdgeBlockStore` runs on) must be
+   ``--kernel-threshold`` (default 3×) faster than the frozenset reference
+   (:func:`~repro.summary.pairwise.pair_edges_reference`), profile
+   compilation included.
+2. **Process backend** — full-graph construction with
+   ``backend="process"`` and ``--workers`` (default 4) workers must beat
+   the thread backend with the same worker count by
+   ``--process-threshold`` (default 1.3×).  Pure-Python block computation
+   is GIL-bound, so threads cannot scale it; processes can.  The gate
+   needs real cores: on a single-CPU machine (or with
+   ``--parity-only``) the numbers are still reported and recorded, but
+   the speed gate is skipped.
+3. **Subset enumeration** — ``robust_subsets`` with the
+   :class:`~repro.detection.subsets.PairMatrix` fast path must beat the
+   plain block-store enumeration (PR 2's path, reproduced inline) by
+   ``--subsets-threshold`` (default 1.2×) on SmallBank and Auction(5)
+   under the settings where the full workload is not robust.
+
+Parity is asserted throughout: kernel blocks equal reference blocks
+edge-for-edge on SmallBank, TPC-C and Auction(5) under all four Section
+7.2 settings, process-backend graphs equal serial ones, and the matrix
+verdict grids equal the plain enumeration's.
+
+Numbers are recorded to ``BENCH_kernel.json`` (see
+:func:`conftest.record_benchmark`).
+
+Run with:  PYTHONPATH=src python benchmarks/bench_kernel.py [--scale N]
+           [--repetitions R] [--workers W] [--parity-only]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from conftest import record_benchmark
+
+from repro.btp.unfold import unfold
+from repro.detection.subsets import (
+    _resolve_method,
+    enumerate_robust_subsets,
+    robust_subsets,
+)
+from repro.summary.pairwise import (
+    EdgeBlockStore,
+    _pair_block,
+    compile_profile,
+    pair_edges_reference,
+)
+from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK
+from repro.workloads import auction_n, smallbank, tpcc
+
+
+def _best(callable_, repetitions: int) -> float:
+    best = float("inf")
+    for _ in range(repetitions):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# -- gate 1: single-core kernel throughput ----------------------------------
+
+def bench_single_core(scale: int, repetitions: int) -> dict:
+    workload = auction_n(scale)
+    schema = workload.schema
+    ltps = unfold(workload.programs, 2)
+    use_fk = ATTR_DEP_FK.use_foreign_keys
+
+    def reference():
+        blocks = []
+        for a in ltps:
+            for b in ltps:
+                blocks.append(pair_edges_reference(a, b, schema, ATTR_DEP_FK))
+        return blocks
+
+    def kernel():
+        profiles = {l.name: compile_profile(l, schema, ATTR_DEP_FK) for l in ltps}
+        blocks = []
+        for a in ltps:
+            pa = profiles[a.name]
+            for b in ltps:
+                blocks.append(tuple(_pair_block(pa, profiles[b.name], use_fk)))
+        return blocks
+
+    assert kernel() == reference(), "kernel/reference parity violated"
+    reference_seconds = _best(reference, repetitions)
+    kernel_seconds = _best(kernel, repetitions)
+    return {
+        "workload": f"Auction({scale})",
+        "ltps": len(ltps),
+        "blocks": len(ltps) ** 2,
+        "reference_seconds": reference_seconds,
+        "kernel_seconds": kernel_seconds,
+        "speedup": reference_seconds / kernel_seconds,
+    }
+
+
+# -- gate 2: process vs thread backend --------------------------------------
+
+def bench_backends(scale: int, repetitions: int, workers: int) -> dict:
+    workload = auction_n(scale)
+    ltps = unfold(workload.programs, 2)
+
+    def build(backend: str, jobs: int | None):
+        store = EdgeBlockStore(workload.schema, ATTR_DEP_FK, jobs=jobs, backend=backend)
+        store.register(ltps)
+        return store.graph()
+
+    serial_edges = build("thread", None).edges
+    process_edges = build("process", workers).edges
+    assert process_edges == serial_edges, "process-backend parity violated"
+
+    serial_seconds = _best(lambda: build("thread", None), repetitions)
+    thread_seconds = _best(lambda: build("thread", workers), repetitions)
+    process_seconds = _best(lambda: build("process", workers), repetitions)
+    return {
+        "workload": f"Auction({scale})",
+        "workers": workers,
+        "serial_seconds": serial_seconds,
+        "thread_seconds": thread_seconds,
+        "process_seconds": process_seconds,
+        "process_vs_thread": thread_seconds / process_seconds,
+    }
+
+
+# -- gate 3: pair-matrix subset enumeration ---------------------------------
+
+def _plain_robust_subsets(programs, schema, settings):
+    """PR 2's enumeration: block store, no pair matrix."""
+    check = _resolve_method("type-II")
+    ltps = unfold(programs, 2)
+    store = EdgeBlockStore(schema, settings)
+    store.register(ltps)
+    by_origin = {program.name: [] for program in programs}
+    for ltp in ltps:
+        by_origin[ltp.origin].append(ltp.name)
+
+    def check_combo(combo):
+        keep = [name for origin in combo for name in by_origin[origin]]
+        return check(store.graph(keep))
+
+    return enumerate_robust_subsets(by_origin, check_combo)
+
+
+def bench_subsets(repetitions: int) -> list[dict]:
+    results = []
+    for label, workload in (("SmallBank", smallbank()), ("Auction(5)", auction_n(5))):
+        for settings in ALL_SETTINGS:
+            plain = _plain_robust_subsets(workload.programs, workload.schema, settings)
+            matrix = robust_subsets(workload.programs, workload.schema, settings)
+            assert plain == matrix, f"verdict parity violated: {label} {settings.label}"
+            full_robust = plain[frozenset(workload.program_names)]
+            plain_seconds = _best(
+                lambda: _plain_robust_subsets(
+                    workload.programs, workload.schema, settings
+                ),
+                repetitions,
+            )
+            matrix_seconds = _best(
+                lambda: robust_subsets(workload.programs, workload.schema, settings),
+                repetitions,
+            )
+            results.append(
+                {
+                    "workload": label,
+                    "settings": settings.label,
+                    "full_set_robust": full_robust,
+                    "plain_seconds": plain_seconds,
+                    "matrix_seconds": matrix_seconds,
+                    "speedup": plain_seconds / matrix_seconds,
+                }
+            )
+    return results
+
+
+# -- parity sweep ------------------------------------------------------------
+
+def check_parity() -> int:
+    """Kernel blocks == reference blocks on every built-in workload under
+    all four Section 7.2 settings.  Returns the number of blocks checked."""
+    checked = 0
+    for workload in (smallbank(), tpcc(), auction_n(5)):
+        ltps = unfold(workload.programs, 2)
+        for settings in ALL_SETTINGS:
+            store = EdgeBlockStore(workload.schema, settings)
+            store.register(ltps)
+            for a in ltps:
+                for b in ltps:
+                    expected = pair_edges_reference(a, b, workload.schema, settings)
+                    assert store.block(a.name, b.name) == expected, (
+                        f"parity violated: {workload.name} {settings.label} "
+                        f"({a.name}, {b.name})"
+                    )
+                    checked += 1
+    return checked
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=24, help="Auction(n) scale")
+    parser.add_argument("--repetitions", type=int, default=5)
+    parser.add_argument("--workers", type=int, default=4, help="pool size for gate 2")
+    parser.add_argument("--kernel-threshold", type=float, default=3.0)
+    parser.add_argument("--process-threshold", type=float, default=1.3)
+    parser.add_argument("--subsets-threshold", type=float, default=1.2)
+    parser.add_argument(
+        "--parity-only",
+        action="store_true",
+        help="assert parity (kernel, process backend, matrix) but gate no speedups",
+    )
+    args = parser.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    failures: list[str] = []
+
+    blocks_checked = check_parity()
+    print(f"parity: kernel == reference on {blocks_checked} blocks "
+          "(SmallBank, TPC-C, Auction(5) x 4 settings)")
+
+    single = bench_single_core(args.scale, args.repetitions)
+    print(
+        f"single-core  {single['workload']}: {single['blocks']} blocks  "
+        f"reference {single['reference_seconds'] * 1e3:8.1f} ms  "
+        f"kernel {single['kernel_seconds'] * 1e3:8.1f} ms  "
+        f"speedup {single['speedup']:.2f}x"
+    )
+    if not args.parity_only and single["speedup"] < args.kernel_threshold:
+        failures.append(
+            f"single-core kernel speedup {single['speedup']:.2f}x "
+            f"< {args.kernel_threshold:.1f}x"
+        )
+
+    backends = bench_backends(args.scale, args.repetitions, args.workers)
+    print(
+        f"backends     {backends['workload']}: serial "
+        f"{backends['serial_seconds'] * 1e3:8.1f} ms  "
+        f"thread({args.workers}) {backends['thread_seconds'] * 1e3:8.1f} ms  "
+        f"process({args.workers}) {backends['process_seconds'] * 1e3:8.1f} ms  "
+        f"process/thread {backends['process_vs_thread']:.2f}x"
+    )
+    process_gated = not args.parity_only and cores >= 2
+    if process_gated and backends["process_vs_thread"] < args.process_threshold:
+        failures.append(
+            f"process backend {backends['process_vs_thread']:.2f}x vs thread "
+            f"< {args.process_threshold:.1f}x"
+        )
+    if not process_gated:
+        print(
+            f"  (process gate skipped: "
+            f"{'parity-only run' if args.parity_only else f'{cores} CPU core(s)'})"
+        )
+
+    subsets = bench_subsets(max(2, args.repetitions // 2))
+    for row in subsets:
+        gated = not row["full_set_robust"]
+        print(
+            f"subsets      {row['workload']:10s} {row['settings']:14s} "
+            f"plain {row['plain_seconds'] * 1e3:8.1f} ms  "
+            f"matrix {row['matrix_seconds'] * 1e3:8.1f} ms  "
+            f"speedup {row['speedup']:5.2f}x"
+            + ("" if gated else "   (full set robust: pruning, no gate)")
+        )
+        if not args.parity_only and gated and row["speedup"] < args.subsets_threshold:
+            failures.append(
+                f"subset enumeration {row['workload']} {row['settings']!r} "
+                f"speedup {row['speedup']:.2f}x < {args.subsets_threshold:.1f}x"
+            )
+
+    record_benchmark(
+        "kernel",
+        {
+            "parity_blocks_checked": blocks_checked,
+            "single_core": single,
+            "backends": {**backends, "gated": process_gated},
+            "subset_enumeration": subsets,
+            "thresholds": {
+                "kernel": args.kernel_threshold,
+                "process": args.process_threshold,
+                "subsets": args.subsets_threshold,
+            },
+            "failures": failures,
+        },
+    )
+
+    print()
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        "PASS: parity holds everywhere"
+        + (
+            ""
+            if args.parity_only
+            else (
+                f"; kernel >= {args.kernel_threshold:.1f}x, "
+                + (
+                    f"process >= {args.process_threshold:.1f}x vs thread, "
+                    if process_gated
+                    else "process gate skipped, "
+                )
+                + f"matrix >= {args.subsets_threshold:.1f}x on non-robust grids"
+            )
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

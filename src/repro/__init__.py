@@ -83,7 +83,7 @@ from repro.summary import (
 )
 from repro.workloads import Workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

@@ -41,6 +41,7 @@ from repro.btp.unfold import unfold_program
 from repro.detection.api import RobustnessReport
 from repro.detection.subsets import (
     Method,
+    PairMatrix,
     _resolve_method,
     enumerate_robust_subsets,
     maximal_subsets,
@@ -145,7 +146,10 @@ class Analyzer:
     and :meth:`replace_program` keep every cached pairwise edge block that
     does not involve the changed program — and persistent:
     :meth:`save_cache`/:meth:`load_cache` carry unfoldings and edge blocks
-    across processes.  ``jobs=`` computes missing blocks concurrently.
+    across processes.  ``jobs=`` computes missing blocks concurrently;
+    ``backend="process"`` fans compiled statement profiles out to a
+    process pool (real multi-core construction), ``"thread"`` (default)
+    keeps the in-process pool.
 
     Sessions are not thread-safe; share the workload, not the session.
     """
@@ -158,10 +162,12 @@ class Analyzer:
         name: str | None = None,
         max_loop_iterations: int = 2,
         jobs: int | None = None,
+        backend: str = "thread",
     ):
         self.workload = Workload.resolve(source, schema=schema, name=name)
         self.max_loop_iterations = max_loop_iterations
         self.jobs = jobs
+        self.backend = backend
         # Remembered for `repro cache load`: a resolvable source string
         # (built-in name or file path), when that is what we were given.
         self._source_hint: str | None = None
@@ -219,7 +225,9 @@ class Analyzer:
         """The per-settings pairwise edge-block cache behind Algorithm 1."""
         store = self._stores.get(settings)
         if store is None:
-            store = EdgeBlockStore(self.schema, settings, jobs=self.jobs)
+            store = EdgeBlockStore(
+                self.schema, settings, jobs=self.jobs, backend=self.backend
+            )
             self._stores[settings] = store
         return store
 
@@ -302,7 +310,11 @@ class Analyzer:
         Same contract as :func:`repro.detection.subsets.robust_subsets`, but
         unfolding and pairwise edge blocks are computed at most once per
         settings: each candidate subset's graph is assembled from the cached
-        blocks of the session's :class:`EdgeBlockStore` plus a cycle check.
+        blocks of the session's :class:`EdgeBlockStore` plus a cycle check —
+        and for the built-in methods the
+        :class:`~repro.detection.subsets.PairMatrix` answers candidates
+        containing a known non-robust 1-/2-program core (or screened robust
+        by the per-pair interference flags) without assembling a graph.
         Subsets of attested-robust sets still inherit robustness without
         testing (Proposition 5.2).
         """
@@ -314,6 +326,10 @@ class Analyzer:
             for name in self.program_names
         }
         all_names = frozenset(self.program_names)
+
+        matrix = PairMatrix.for_method(store, ltp_names, check, full_graph=full)
+        if matrix is not None:
+            return enumerate_robust_subsets(self.program_names, matrix.verdict)
 
         def check_combo(combo: tuple[str, ...]) -> bool:
             if frozenset(combo) == all_names:

@@ -19,7 +19,9 @@ Commands:
 
 All commands accept any workload source :meth:`Workload.resolve` does, and
 the analysis commands accept ``--jobs N`` to compute pairwise edge blocks
-with ``N`` concurrent workers.  ``--json`` emits machine-readable reports
+with ``N`` concurrent workers and ``--backend thread|process`` to pick the
+worker pool (``process`` fans compiled statement profiles out over real
+cores).  ``--json`` emits machine-readable reports
 (``RobustnessReport.to_dict`` shapes) for embedding in CI pipelines; errors
 (unknown workloads, missing files, malformed workload text) print to stderr
 and exit with status 2.
@@ -78,10 +80,18 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="compute pairwise edge blocks with N concurrent workers",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["thread", "process"],
+        default="thread",
+        help="worker pool for --jobs: 'thread' (default) or 'process' "
+        "(real multi-core fan-out over compiled statement profiles; "
+        "without --jobs, 'process' uses one worker per CPU core)",
+    )
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload, jobs=args.jobs)
+    session = Analyzer(args.workload, jobs=args.jobs, backend=args.backend)
     subset = _subset_from(args.subset)
     if args.all_settings:
         matrix = session.analyze_matrix(subset)
@@ -100,7 +110,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_subsets(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload, jobs=args.jobs)
+    session = Analyzer(args.workload, jobs=args.jobs, backend=args.backend)
     settings = _settings_from(args.setting)
     subsets = session.maximal_robust_subsets(settings, args.method)
     if args.json:
@@ -128,7 +138,7 @@ def _cmd_subsets(args: argparse.Namespace) -> int:
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload, jobs=args.jobs)
+    session = Analyzer(args.workload, jobs=args.jobs, backend=args.backend)
     graph = session.summary_graph(_settings_from(args.setting))
     if args.json:
         data = {"workload": session.workload.name, **graph.to_dict()}
@@ -141,7 +151,7 @@ def _cmd_graph(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache_save(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload, jobs=args.jobs)
+    session = Analyzer(args.workload, jobs=args.jobs, backend=args.backend)
     settings_list = ALL_SETTINGS if args.all_settings else [_settings_from(args.setting)]
     for settings in settings_list:
         session.summary_graph(settings)

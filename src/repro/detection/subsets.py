@@ -4,12 +4,24 @@ Robustness is anti-monotone (Proposition 5.2): every subset of a robust set
 of programs is robust.  The enumeration exploits this by walking subsets in
 decreasing size and skipping subsets of already-attested robust sets; the
 *maximal* robust subsets are those without a robust strict superset.
+
+On top of the attested-superset pruning, :class:`PairMatrix` adds the
+contrapositive fast path: both built-in detection methods decide robustness
+by the *absence* of a bad cycle, so a violation found in ``SuG(𝒫')``
+persists in every superset's graph (``SuG(𝒫')`` is an induced subgraph of
+``SuG(𝒫'')`` for ``𝒫' ⊆ 𝒫''``).  Once a 1- or 2-program core is known
+non-robust, every candidate containing it is non-robust without assembling
+a summary graph; per-pair interference flags derived from the cached edge
+blocks (any non-counterflow edge / any counterflow edge / any program with
+both an incoming edge and an outgoing counterflow edge) answer many of the
+remaining candidates as robust, again without graph assembly.  Only the
+*ambiguous* subsets pay for assembly plus Algorithm 2.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.btp.program import BTP
 from repro.btp.unfold import unfold
@@ -48,11 +60,155 @@ def is_robust(
     method: str | Method = "type-II",
     max_loop_iterations: int = 2,
     jobs: int | None = None,
+    backend: str = "thread",
 ) -> bool:
     """Unfold, build the summary graph, and run the chosen detection method."""
     ltps = unfold(programs, max_loop_iterations)
-    graph = construct_summary_graph(ltps, schema, settings, jobs=jobs)
+    graph = construct_summary_graph(ltps, schema, settings, jobs=jobs, backend=backend)
     return _resolve_method(method)(graph)
+
+
+class PairMatrix:
+    """Per-pair interference summary over an :class:`EdgeBlockStore`.
+
+    ``members`` maps each program (BTP) name to the LTP names of its
+    unfoldings; ``check`` is one of the two built-in detection methods.
+    :meth:`verdict` decides one candidate combination with three fast
+    paths before falling back to graph assembly:
+
+    1. **non-robust cores** — a candidate containing a known non-robust
+       1-/2-program core is non-robust (contrapositive of Proposition 5.2;
+       exact because both methods detect a bad cycle that persists in every
+       supergraph);
+    2. **interference flags** — from the cached blocks' per-pair
+       ``(has_non_counterflow, has_counterflow)`` flags: no counterflow
+       edge at all ⇒ robust (both methods); no non-counterflow edge ⇒
+       robust (type-II needs one); no program with both an incoming edge
+       and an outgoing counterflow edge ⇒ robust (no dangerous adjacent
+       pair can form, and no counterflow edge can close a cycle);
+    3. **2-subset memo** — 1- and 2-program verdicts are answered from the
+       matrix directly once computed.
+
+    The matrix *materializes* (computes all 1-/2-program verdicts) the
+    first time a candidate fails a real check: from then on, the
+    exponentially many supersets of non-robust pairs short-circuit.  On a
+    workload whose full set is robust nothing is materialized — the
+    attested-superset pruning already collapses that case.
+    """
+
+    def __init__(
+        self,
+        store: EdgeBlockStore,
+        members: Mapping[str, Sequence[str]],
+        check: Method,
+        full_graph: SummaryGraph | None = None,
+    ):
+        self._store = store
+        self._members = {name: tuple(ltps) for name, ltps in members.items()}
+        self._check = check
+        self._needs_non_counterflow = check is is_robust_type2
+        self._full_graph = full_graph
+        self._universe = frozenset(self._members)
+        self._pair_verdicts: dict[frozenset[str], bool] = {}
+        self._nonrobust_cores: list[frozenset[str]] = []
+        self._materialized = False
+
+    @classmethod
+    def for_method(
+        cls,
+        store: EdgeBlockStore,
+        members: Mapping[str, Sequence[str]],
+        check: Method,
+        full_graph: SummaryGraph | None = None,
+    ) -> "PairMatrix | None":
+        """A matrix when ``check`` is a known cycle-absence method, else
+        ``None`` (arbitrary callables get no anti-monotonicity guarantee)."""
+        if check is is_robust_type2 or check is is_robust_type1:
+            return cls(store, members, check, full_graph)
+        return None
+
+    # -- internals ----------------------------------------------------------
+    def _ltp_names(self, subset: Iterable[str]) -> list[str]:
+        return [ltp for name in sorted(subset) for ltp in self._members[name]]
+
+    def _graph(self, subset: frozenset[str], ltp_names: Sequence[str]) -> SummaryGraph:
+        if subset == self._universe and self._full_graph is not None:
+            return self._full_graph
+        return self._store.graph(ltp_names)
+
+    def _screen(self, ltp_names: Sequence[str]) -> bool:
+        """True when the flags alone prove the subset robust."""
+        if not ltp_names:
+            return True
+        self._store.ensure_blocks(ltp_names)
+        flags = self._store.block_flags
+        any_counterflow = False
+        any_non_counterflow = False
+        has_incoming: set[str] = set()
+        has_counterflow_out: set[str] = set()
+        for source in ltp_names:
+            for target in ltp_names:
+                non_counterflow, counterflow = flags(source, target)
+                if counterflow:
+                    any_counterflow = True
+                    has_counterflow_out.add(source)
+                if non_counterflow:
+                    any_non_counterflow = True
+                if counterflow or non_counterflow:
+                    has_incoming.add(target)
+        if not any_counterflow:
+            return True
+        if self._needs_non_counterflow and not any_non_counterflow:
+            return True
+        return not (has_incoming & has_counterflow_out)
+
+    def pair_verdict(self, subset: frozenset[str]) -> bool:
+        """The verdict of a 1- or 2-program subset, memoized."""
+        cached = self._pair_verdicts.get(subset)
+        if cached is not None:
+            return cached
+        ltp_names = self._ltp_names(subset)
+        robust = self._screen(ltp_names) or self._check(
+            self._graph(subset, ltp_names)
+        )
+        self._pair_verdicts[subset] = robust
+        if not robust:
+            self._nonrobust_cores.append(subset)
+        return robust
+
+    def materialize(self) -> None:
+        """Compute every 1- and 2-program verdict (idempotent)."""
+        if self._materialized:
+            return
+        self._materialized = True
+        names = sorted(self._universe)
+        for name in names:
+            self.pair_verdict(frozenset((name,)))
+        for left, right in itertools.combinations(names, 2):
+            self.pair_verdict(frozenset((left, right)))
+
+    def _contains_nonrobust_core(self, subset: frozenset[str]) -> bool:
+        return any(core <= subset for core in self._nonrobust_cores)
+
+    # -- the decision procedure ---------------------------------------------
+    def verdict(self, combo: Iterable[str]) -> bool:
+        """The robustness verdict of one candidate combination."""
+        subset = frozenset(combo)
+        if len(subset) <= 2:
+            return self.pair_verdict(subset)
+        if self._contains_nonrobust_core(subset):
+            return False
+        ltp_names = self._ltp_names(subset)
+        # The full set is checked exactly once (and its graph is usually
+        # prebuilt), so the flag screen would be pure overhead there.
+        if subset != self._universe and self._screen(ltp_names):
+            return True
+        robust = self._check(self._graph(subset, ltp_names))
+        if not robust and not self._materialized:
+            # The grid has entered non-robust territory: pay the cheap
+            # pair sweep once so the remaining supersets short-circuit.
+            self.materialize()
+        return robust
 
 
 def enumerate_robust_subsets(
@@ -65,8 +221,8 @@ def enumerate_robust_subsets(
     Walks subsets of ``names`` in decreasing size; subsets of attested-robust
     sets inherit robustness without calling ``check_combo`` (Proposition
     5.2).  ``check_combo`` decides robustness for one candidate combination
-    — by running the full pipeline (one-shot path) or by restricting a
-    cached summary graph (session path).
+    — via :meth:`PairMatrix.verdict` (both library paths) or by running the
+    full pipeline per candidate (arbitrary method callables).
     """
     ordered = sorted(names)
     verdicts: dict[frozenset[str], bool] = {}
@@ -92,13 +248,24 @@ def enumerate_robust_subsets(
 def maximal_subsets(
     verdicts: dict[frozenset[str], bool]
 ) -> tuple[frozenset[str], ...]:
-    """The maximal robust subsets of a verdict grid, largest first."""
-    robust = [subset for subset, ok in verdicts.items() if ok]
-    maximal = [
-        subset
-        for subset in robust
-        if not any(subset < other for other in robust)
-    ]
+    """The maximal robust subsets of a verdict grid, largest first.
+
+    Bucketed by subset size: a strict superset is necessarily larger, and
+    every robust strict superset is contained in some *maximal* robust set
+    of larger size (chains of robust supersets end at a maximal one), so
+    scanning sizes in decreasing order and comparing each candidate only
+    against the maximal sets found so far is exact — and near-linear where
+    the old all-pairs scan over the robust list was quadratic.
+    """
+    by_size: dict[int, list[frozenset[str]]] = {}
+    for subset, robust in verdicts.items():
+        if robust:
+            by_size.setdefault(len(subset), []).append(subset)
+    maximal: list[frozenset[str]] = []
+    for size in sorted(by_size, reverse=True):
+        for subset in by_size[size]:
+            if not any(subset < other for other in maximal):
+                maximal.append(subset)
     return tuple(sorted(maximal, key=lambda s: (-len(s), sorted(s))))
 
 
@@ -109,6 +276,7 @@ def robust_subsets(
     method: str | Method = "type-II",
     max_loop_iterations: int = 2,
     jobs: int | None = None,
+    backend: str = "thread",
 ) -> dict[frozenset[str], bool]:
     """Robustness verdict for every non-empty subset of the programs.
 
@@ -117,17 +285,22 @@ def robust_subsets(
     :class:`~repro.summary.pairwise.EdgeBlockStore`: each candidate subset's
     ``SuG`` is assembled from cached pairwise edge blocks (exact, because
     Algorithm 1 adds edges per ordered pair of programs), so no block is
-    ever computed twice.  ``max_loop_iterations`` is forwarded to
-    ``unfold`` (it previously hard-defaulted to 2, disagreeing with
-    :func:`is_robust`); ``jobs`` parallelizes block computation.
+    ever computed twice — and for the built-in methods the
+    :class:`PairMatrix` answers candidates containing a known non-robust
+    pair (or screened robust by the interference flags) without assembling
+    a graph at all.  ``jobs``/``backend`` parallelize block computation.
     """
     check = _resolve_method(method)
     ltps = unfold(programs, max_loop_iterations)
-    store = EdgeBlockStore(schema, settings, jobs=jobs)
+    store = EdgeBlockStore(schema, settings, jobs=jobs, backend=backend)
     store.register(ltps)
     ltps_by_origin: dict[str, list[str]] = {program.name: [] for program in programs}
     for ltp in ltps:
         ltps_by_origin[ltp.origin].append(ltp.name)
+
+    matrix = PairMatrix.for_method(store, ltps_by_origin, check)
+    if matrix is not None:
+        return enumerate_robust_subsets(ltps_by_origin, matrix.verdict)
 
     def check_combo(combo: tuple[str, ...]) -> bool:
         keep = [name for origin in combo for name in ltps_by_origin[origin]]
@@ -143,10 +316,13 @@ def maximal_robust_subsets(
     method: str | Method = "type-II",
     max_loop_iterations: int = 2,
     jobs: int | None = None,
+    backend: str = "thread",
 ) -> tuple[frozenset[str], ...]:
     """The maximal robust subsets, largest first (as listed in Figures 6/7)."""
     return maximal_subsets(
-        robust_subsets(programs, schema, settings, method, max_loop_iterations, jobs)
+        robust_subsets(
+            programs, schema, settings, method, max_loop_iterations, jobs, backend
+        )
     )
 
 

@@ -83,14 +83,13 @@ def is_robust_type2_naive(graph: SummaryGraph) -> bool:
 
 
 def _dangerous_pairs(graph: SummaryGraph) -> list[tuple[SummaryEdge, SummaryEdge]]:
-    """All adjacent pairs ``(e2, e3)`` satisfying the Algorithm 2 condition."""
-    counterflow_sources = {e3.source for e3 in graph.counterflow_edges}
-    edges_by_target: dict[str, list[SummaryEdge]] = {
-        name: [] for name in counterflow_sources
-    }
-    for edge in graph.edges:
-        if edge.target in edges_by_target:
-            edges_by_target[edge.target].append(edge)
+    """All adjacent pairs ``(e2, e3)`` satisfying the Algorithm 2 condition.
+
+    The incoming-edge grouping is :attr:`SummaryGraph.edges_by_target`,
+    cached on the immutable graph (like ``_read_trigger_sources``), so
+    repeated Algorithm 2 calls on the same graph stop rescanning all edges.
+    """
+    edges_by_target = graph.edges_by_target
     pairs = []
     for e3 in graph.counterflow_edges:
         for e2 in edges_by_target[e3.source]:

@@ -5,8 +5,14 @@ A :class:`Relation` carries a finite attribute set and a primary key; a
 :class:`ForeignKey` is a named mapping from a *domain* relation to a *range*
 relation, realised over concrete attribute columns; a :class:`Schema` is a
 validated collection of both.
+
+:class:`AttributeInterner` (``Schema.interner``) assigns every attribute and
+foreign key a bit position, turning statement attribute sets into integer
+bitmasks — the representation the compiled interference kernel of
+:mod:`repro.summary.pairwise` runs on.
 """
 
+from repro.schema.interning import AttributeInterner, StatementMasks
 from repro.schema.model import ForeignKey, Relation, Schema
 
-__all__ = ["Relation", "ForeignKey", "Schema"]
+__all__ = ["Relation", "ForeignKey", "Schema", "AttributeInterner", "StatementMasks"]

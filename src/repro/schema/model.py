@@ -175,6 +175,23 @@ class Schema:
         """``Attr(R)`` for the named relation."""
         return self.relation(relation_name).attribute_set
 
+    @property
+    def interner(self) -> "AttributeInterner":
+        """The schema's attribute/FK intern table (built once, memoized).
+
+        Schemas are immutable, so the table is cached on the instance; it is
+        the substrate of the compiled interference kernel
+        (:mod:`repro.summary.pairwise`), which represents statement attribute
+        sets as integer bitmasks instead of frozensets.
+        """
+        interner = getattr(self, "_interner", None)
+        if interner is None:
+            from repro.schema.interning import AttributeInterner
+
+            interner = AttributeInterner(self)
+            object.__setattr__(self, "_interner", interner)
+        return interner
+
     def foreign_keys_from(self, relation_name: str) -> tuple[ForeignKey, ...]:
         """All foreign keys whose domain (referencing side) is the relation."""
         return tuple(fk for fk in self.foreign_keys if fk.source == relation_name)

@@ -10,7 +10,13 @@ foreign-key conditions ``ncDepConds`` and ``cDepConds``.
 
 from repro.summary.construct import build_summary_graph, construct_summary_graph
 from repro.summary.graph import SummaryEdge, SummaryGraph, SummaryStats
-from repro.summary.pairwise import EdgeBlockStore, pair_edges
+from repro.summary.pairwise import (
+    EdgeBlockStore,
+    ProgramProfile,
+    compile_profile,
+    pair_edges,
+    pair_edges_reference,
+)
 from repro.summary.settings import (
     ALL_SETTINGS,
     ATTR_DEP,
@@ -21,7 +27,12 @@ from repro.summary.settings import (
     Granularity,
 )
 from repro.summary.tables import C_DEP_TABLE, NC_DEP_TABLE
-from repro.summary.conditions import c_dep_conds, nc_dep_conds
+from repro.summary.conditions import (
+    c_dep_conds,
+    c_dep_conds_masks,
+    nc_dep_conds,
+    nc_dep_conds_masks,
+)
 
 __all__ = [
     "SummaryEdge",
@@ -31,6 +42,9 @@ __all__ = [
     "build_summary_graph",
     "EdgeBlockStore",
     "pair_edges",
+    "pair_edges_reference",
+    "compile_profile",
+    "ProgramProfile",
     "AnalysisSettings",
     "Granularity",
     "TPL_DEP",
@@ -42,4 +56,6 @@ __all__ = [
     "C_DEP_TABLE",
     "nc_dep_conds",
     "c_dep_conds",
+    "nc_dep_conds_masks",
+    "c_dep_conds_masks",
 ]

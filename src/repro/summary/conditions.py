@@ -11,8 +11,13 @@ imply a dirty write, which MVRC forbids (see the proof of Proposition 6.3).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.btp.ltp import LTP
 from repro.btp.statement import Statement, StatementType
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.schema import StatementMasks
 
 #: FK-constraint targets that count as writes for the ``cDepConds`` check.
 _WRITE_TARGETS = frozenset(
@@ -64,6 +69,43 @@ def c_dep_conds(
         if use_foreign_keys and _fk_blocks(qi, qj, program_i, program_j, source_pos, target_pos):
             return False
         return True
+    return False
+
+
+def nc_dep_conds_masks(mi: "StatementMasks", mj: "StatementMasks") -> bool:
+    """``ncDepConds`` over interned bitmasks — equivalent to
+    :func:`nc_dep_conds` when both mask triples come from the same
+    :class:`~repro.schema.AttributeInterner` (property-tested).
+
+    ⊥ masks coerce to ``0`` exactly as ⊥ frozensets coerce to ∅.
+    """
+    wi, wj = mi.writes, mj.writes
+    return bool(
+        wi & wj or wi & mj.reads or wi & mj.preads or mi.reads & wj or mi.preads & wj
+    )
+
+
+def c_dep_conds_masks(
+    mi: "StatementMasks",
+    mj: "StatementMasks",
+    protecting_i: int,
+    protecting_j: int,
+    use_foreign_keys: bool = True,
+) -> bool:
+    """``cDepConds`` over interned bitmasks — equivalent to
+    :func:`c_dep_conds` when the masks and the ``protecting_i``/
+    ``protecting_j`` foreign-key masks (interned :func:`protecting_fks`
+    of the two occurrences) come from the same interner.
+
+    The compiled kernel precomputes the protecting-FK mask once per
+    occurrence position at profile-compile time, where the frozenset path
+    rescans the program's constraint instances on every pair.
+    """
+    wj = mj.writes
+    if mi.preads & wj:
+        return True
+    if mi.reads & wj:
+        return not (use_foreign_keys and protecting_i & protecting_j)
     return False
 
 

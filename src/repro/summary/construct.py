@@ -39,16 +39,18 @@ def construct_summary_graph(
     schema: Schema,
     settings: AnalysisSettings = AnalysisSettings(),
     jobs: int | None = None,
+    backend: str = "thread",
 ) -> SummaryGraph:
     """``constructSuG(𝒫)`` of Algorithm 1 over already-unfolded LTPs.
 
     ``jobs`` computes the pairwise edge blocks with that many concurrent
-    workers (serial when ``None`` or ``1``).
+    workers (serial when ``None`` or ``1``); ``backend`` selects the
+    ``"thread"`` (default) or ``"process"`` worker pool.
     """
     names = [program.name for program in programs]
     if len(set(names)) != len(names):
         raise ProgramError(f"duplicate LTP names: {names!r}")
-    store = EdgeBlockStore(schema, settings)
+    store = EdgeBlockStore(schema, settings, backend=backend)
     store.register(programs)
     return store.graph(names, jobs=jobs)
 
@@ -59,7 +61,8 @@ def build_summary_graph(
     settings: AnalysisSettings = AnalysisSettings(),
     max_loop_iterations: int = 2,
     jobs: int | None = None,
+    backend: str = "thread",
 ) -> SummaryGraph:
     """Unfold a set of BTPs (``Unfold≤2`` by default) and run Algorithm 1."""
     ltps = unfold(programs, max_loop_iterations)
-    return construct_summary_graph(ltps, schema, settings, jobs=jobs)
+    return construct_summary_graph(ltps, schema, settings, jobs=jobs, backend=backend)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Iterator, Mapping, NamedTuple
 
 import networkx as nx
 
@@ -64,14 +64,19 @@ class SummaryStats:
         return self.describe()
 
 
-@dataclass(frozen=True)
-class SummaryEdge:
+class SummaryEdge(NamedTuple):
     """An edge ``(P_i, q_i, c, q_j, P_j)`` of the summary graph.
 
     ``source``/``target`` are LTP names; ``source_stmt``/``target_stmt``
     are statement names with ``source_pos``/``target_pos`` locating the
     occurrence inside the LTP; ``counterflow`` distinguishes the two edge
     colours of Section 6.2 (dashed edges in the paper's figures).
+
+    A named tuple rather than a dataclass: Algorithm 1's compiled kernel
+    constructs (and the process backend pickles) one of these per edge of
+    every block, and tuple allocation is several times cheaper than a
+    frozen dataclass ``__init__`` — field access, equality and hashing are
+    unchanged.
     """
 
     source: str
@@ -199,6 +204,20 @@ class SummaryGraph:
         grouped: dict[str, list[SummaryEdge]] = {name: [] for name in self._programs}
         for edge in self.counterflow_edges:
             grouped[edge.source].append(edge)
+        return {name: tuple(edges) for name, edges in grouped.items()}
+
+    @cached_property
+    def edges_by_target(self) -> dict[str, tuple[SummaryEdge, ...]]:
+        """All edges grouped by target program (every node present).
+
+        Cached on the (immutable) graph like :attr:`counterflow_by_source`:
+        Algorithm 2's dangerous-pair collection scans incoming edges per
+        counterflow source, and repeated detection calls on the same graph
+        must not rescan the whole edge list each time.
+        """
+        grouped: dict[str, list[SummaryEdge]] = {name: [] for name in self._programs}
+        for edge in self._edges:
+            grouped[edge.target].append(edge)
         return {name: tuple(edges) for name, edges in grouped.items()}
 
     @cached_property

@@ -1,4 +1,4 @@
-"""The pairwise edge-block engine behind Algorithm 1.
+"""The pairwise edge-block engine behind Algorithm 1 — compiled kernel.
 
 Algorithm 1 adds summary-graph edges per *ordered pair* of programs,
 looking only at the two programs involved.  This module makes that
@@ -9,13 +9,38 @@ subset ``𝒫' ⊆ 𝒫`` is assembled by concatenating the cached blocks of its
 ordered pairs — edge-for-edge identical to running the monolithic loop of
 :func:`repro.summary.construct.construct_summary_graph` over ``𝒫'``.
 
+The hot path runs on a **compiled interference kernel** instead of the
+object-heavy statement representation:
+
+* each LTP is compiled once, at :meth:`EdgeBlockStore.register` time, to a
+  flat :class:`ProgramProfile` — per occurrence: statement name, position,
+  interned relation id, dense statement-type id, the three attribute-set
+  bitmasks of :class:`~repro.schema.AttributeInterner`, and the
+  ``protecting_fks`` foreign-key mask precomputed *once per position*
+  (the frozenset path rescans the program's constraint instances for every
+  occurrence pair of every ordered pair);
+* :func:`_pair_block` then decides ``ncDepConds``/``cDepConds`` with plain
+  integer ANDs and the Table 1 dispatch pre-resolved per type-id pair
+  (:data:`~repro.summary.tables.NC_DEP_ROWS` /
+  :data:`~repro.summary.tables.C_DEP_ROWS`);
+* profiles are built from plain tuples, dicts and ints — picklable by
+  construction — so ``backend="process"`` can fan blocks out to a
+  ``ProcessPoolExecutor`` (real multi-core construction; the thread
+  backend remains the default and the two install edge-for-edge identical
+  blocks).
+
+:func:`pair_edges_reference` keeps the original frozenset formulation as an
+executable specification; parity between the two is property-tested on
+every built-in workload under all four Section 7.2 settings.
+
 The block structure is what enables
 
 * **incremental re-analysis** — replacing one program invalidates only the
   blocks whose source or target belongs to it (``≤ 2n − 1`` of the ``n²``
   program-pair blocks), everything else stays cached;
 * **parallel construction** — blocks are independent, so missing ones can
-  be computed concurrently (``jobs=`` uses :mod:`concurrent.futures`);
+  be computed concurrently (``jobs=`` workers on the ``"thread"`` or
+  ``"process"`` backend);
 * **persistence** — blocks are plain edge lists that serialize with
   :meth:`repro.summary.graph.SummaryEdge.to_dict` and can be seeded back
   via :meth:`EdgeBlockStore.load_block` (the substrate of
@@ -24,17 +49,27 @@ The block structure is what enables
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, Sequence
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, NamedTuple, Sequence
 
 from repro.btp.ltp import LTP
 from repro.btp.statement import Statement
 from repro.errors import ProgramError
 from repro.schema import Schema
-from repro.summary.conditions import c_dep_conds, nc_dep_conds
+from repro.summary.conditions import c_dep_conds, nc_dep_conds, protecting_fks
 from repro.summary.graph import SummaryEdge, SummaryGraph
 from repro.summary.settings import AnalysisSettings, Granularity
-from repro.summary.tables import C_DEP_TABLE, NC_DEP_TABLE
+from repro.summary.tables import (
+    C_DEP_ROWS,
+    C_DEP_TABLE,
+    NC_DEP_ROWS,
+    NC_DEP_TABLE,
+    TYPE_INDEX,
+)
+
+#: The supported block-construction backends (``jobs > 1`` fan-out).
+BACKENDS = ("thread", "process")
 
 
 def effective_statements(
@@ -50,18 +85,170 @@ def effective_statements(
     }
 
 
-def _pair_edges(
+# ---------------------------------------------------------------------------
+# compiled statement profiles
+# ---------------------------------------------------------------------------
+
+#: One occurrence, compiled: ``(stmt_name, position, relation_id, type_id,
+#: writes_mask, reads_mask, preads_mask, protecting_fk_mask)`` — ⊥ masks
+#: coerce to 0, exactly as the frozenset conditions coerce ⊥ to ∅.
+OccurrenceRow = tuple[str, int, int, int, int, int, int, int]
+
+
+class ProgramProfile(NamedTuple):
+    """One LTP compiled for the kernel: flat, immutable, and picklable.
+
+    ``occurrences`` preserves program order; ``by_relation`` groups the same
+    rows by interned relation id (order-preserving), which lets the pair
+    loop skip non-matching relations wholesale without perturbing the edge
+    sequence.
+    """
+
+    name: str
+    occurrences: tuple[OccurrenceRow, ...]
+    by_relation: dict[int, tuple[OccurrenceRow, ...]]
+
+
+def compile_profile(
+    program: LTP, schema: Schema, settings: AnalysisSettings
+) -> ProgramProfile:
+    """Compile one LTP to its flat statement profile.
+
+    Masks come from the schema's intern table; ``protecting_fks`` is
+    evaluated once per occurrence position here instead of once per
+    occurrence *pair* inside ``cDepConds``.
+    """
+    interner = schema.interner
+    statements = effective_statements(program, schema, settings.granularity)
+    rows: list[OccurrenceRow] = []
+    for occurrence in program:
+        stmt = statements[occurrence.name]
+        masks = interner.statement_masks(stmt)
+        rows.append(
+            (
+                occurrence.name,
+                occurrence.position,
+                interner.relation_id(stmt.relation),
+                TYPE_INDEX[stmt.stype],
+                masks.writes,
+                masks.reads,
+                masks.preads,
+                interner.fk_mask(protecting_fks(program, occurrence.position)),
+            )
+        )
+    by_relation: dict[int, list[OccurrenceRow]] = {}
+    for row in rows:
+        by_relation.setdefault(row[2], []).append(row)
+    return ProgramProfile(
+        program.name,
+        tuple(rows),
+        {relation: tuple(group) for relation, group in by_relation.items()},
+    )
+
+
+def _pair_block(
+    profile_i: ProgramProfile,
+    profile_j: ProgramProfile,
+    use_foreign_keys: bool,
+) -> list[SummaryEdge]:
+    """The edge block of one ordered pair, over compiled profiles.
+
+    This is the kernel of Algorithm 1: per occurrence pair, two tuple
+    indexings resolve the Table 1 entries and the ⊥ entries are decided by
+    bitwise ANDs (``ncDepConds``/``cDepConds`` over interned masks, with
+    the protecting-FK masks precomputed per position).  Iterating the outer
+    occurrences in program order against the inner profile's per-relation
+    groups (which preserve program order) reproduces the monolithic loop's
+    edge sequence exactly — the original loop skips non-matching relations
+    one pair at a time, this one skips them wholesale.  ``SummaryEdge`` is
+    a named tuple, so both the construction here and the pickling on the
+    process backend run at tuple speed.
+    """
+    edges: list[SummaryEdge] = []
+    append = edges.append
+    edge = SummaryEdge
+    name_i = profile_i.name
+    name_j = profile_j.name
+    by_relation_j = profile_j.by_relation
+    for source_stmt, source_pos, relation, ti, wi, ri, pi, fki in profile_i.occurrences:
+        targets = by_relation_j.get(relation)
+        if targets is None:
+            continue
+        nc_row = NC_DEP_ROWS[ti]
+        c_row = C_DEP_ROWS[ti]
+        for target_stmt, target_pos, _, tj, wj, rj, pj, fkj in targets:
+            nc = nc_row[tj]
+            if nc is True or (
+                nc is None
+                and (wi & wj or wi & rj or wi & pj or ri & wj or pi & wj)
+            ):
+                append(edge(name_i, source_stmt, source_pos, False,
+                            target_stmt, target_pos, name_j))
+            c = c_row[tj]
+            if c is True or (
+                c is None
+                and (
+                    pi & wj
+                    or (ri & wj and not (use_foreign_keys and fki & fkj))
+                )
+            ):
+                append(edge(name_i, source_stmt, source_pos, True,
+                            target_stmt, target_pos, name_j))
+    return edges
+
+
+# ---------------------------------------------------------------------------
+# process-pool worker plumbing
+# ---------------------------------------------------------------------------
+
+#: Per-worker state installed by :func:`_worker_init` (profiles by LTP name
+#: plus the foreign-key flag); batches then ship only name pairs.
+_WORKER_STATE: tuple[dict[str, ProgramProfile], bool] | None = None
+
+
+def _worker_init(profiles: dict[str, ProgramProfile], use_foreign_keys: bool) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (profiles, use_foreign_keys)
+
+
+def _worker_batch(pairs: Sequence[tuple[str, str]]) -> list[list[SummaryEdge]]:
+    profiles, use_foreign_keys = _WORKER_STATE
+    return [
+        _pair_block(profiles[source], profiles[target], use_foreign_keys)
+        for source, target in pairs
+    ]
+
+
+def _chunked(items: Sequence, chunks: int) -> list[Sequence]:
+    """Split ``items`` into at most ``chunks`` contiguous, near-even runs."""
+    chunks = max(1, min(chunks, len(items)))
+    size, extra = divmod(len(items), chunks)
+    result = []
+    start = 0
+    for index in range(chunks):
+        stop = start + size + (1 if index < extra else 0)
+        result.append(items[start:stop])
+        start = stop
+    return result
+
+
+# ---------------------------------------------------------------------------
+# reference (frozenset) path — the executable specification
+# ---------------------------------------------------------------------------
+
+def _pair_edges_reference(
     program_i: LTP,
     statements_i: dict[str, Statement],
     program_j: LTP,
     statements_j: dict[str, Statement],
     settings: AnalysisSettings,
 ) -> tuple[SummaryEdge, ...]:
-    """The edge block of one ordered pair, over pre-widened statements.
+    """The pre-kernel edge block of one ordered pair, over statement objects.
 
-    The occurrence loops and the non-counterflow/counterflow interleaving
-    reproduce the monolithic Algorithm 1 loop exactly, so concatenating
-    blocks in ordered-pair order yields the identical edge sequence.
+    Kept verbatim as the executable specification of :func:`_pair_block`:
+    the occurrence loops and the non-counterflow/counterflow interleaving
+    reproduce the monolithic Algorithm 1 loop exactly, and the compiled
+    kernel is property-tested edge-for-edge against this path.
     """
     edges: list[SummaryEdge] = []
     for occ_i in program_i:
@@ -100,6 +287,28 @@ def _pair_edges(
     return tuple(edges)
 
 
+def pair_edges_reference(
+    program_i: LTP,
+    program_j: LTP,
+    schema: Schema,
+    settings: AnalysisSettings = AnalysisSettings(),
+) -> tuple[SummaryEdge, ...]:
+    """:func:`pair_edges` via the original frozenset statement conditions.
+
+    Slower than the compiled kernel (it rebuilds ``protecting_fks`` per
+    occurrence pair and intersects frozensets); kept as the parity baseline
+    for tests and :mod:`benchmarks.bench_kernel`.
+    """
+    statements_i = effective_statements(program_i, schema, settings.granularity)
+    if program_j is program_i:
+        statements_j = statements_i
+    else:
+        statements_j = effective_statements(program_j, schema, settings.granularity)
+    return _pair_edges_reference(
+        program_i, statements_i, program_j, statements_j, settings
+    )
+
+
 def pair_edges(
     program_i: LTP,
     program_j: LTP,
@@ -110,29 +319,40 @@ def pair_edges(
 
     Looks only at the two programs involved (self-pairs included):
     ``SuG(𝒫)`` is exactly the concatenation of ``pair_edges(P_i, P_j)``
-    over all ordered pairs of ``𝒫``.
+    over all ordered pairs of ``𝒫``.  Runs on the compiled kernel; inside
+    an :class:`EdgeBlockStore` the profile compilation happens once per
+    program instead of once per call.
     """
-    statements_i = effective_statements(program_i, schema, settings.granularity)
+    profile_i = compile_profile(program_i, schema, settings)
     if program_j is program_i:
-        statements_j = statements_i
+        profile_j = profile_i
     else:
-        statements_j = effective_statements(program_j, schema, settings.granularity)
-    return _pair_edges(program_i, statements_i, program_j, statements_j, settings)
+        profile_j = compile_profile(program_j, schema, settings)
+    return tuple(_pair_block(profile_i, profile_j, settings.use_foreign_keys))
 
 
 class EdgeBlockStore:
     """A cache of pairwise edge blocks for one ``(schema, settings)``.
 
-    Register LTPs with :meth:`register`, then :meth:`graph` assembles
-    ``SuG`` over any subset of them from cached blocks, computing only the
-    blocks not seen before.  :meth:`discard` drops a program together with
-    every block it participates in (the incremental-re-analysis primitive),
-    and :meth:`load_block` seeds blocks from persisted edge lists without
+    Register LTPs with :meth:`register` (each is compiled once to its
+    kernel profile), then :meth:`graph` assembles ``SuG`` over any subset
+    of them from cached blocks, computing only the blocks not seen before.
+    :meth:`discard` drops a program together with every block it
+    participates in (the incremental-re-analysis primitive, indexed so an
+    eviction touches only the ``≤ 2n − 1`` involved blocks), and
+    :meth:`load_block` seeds blocks from persisted edge lists without
     recomputation.
 
-    Stores are not thread-safe; ``jobs`` parallelism is internal (missing
-    blocks of one :meth:`graph`/:meth:`ensure_blocks` call are computed
-    concurrently, then installed from the calling thread).
+    ``backend`` selects how missing blocks are computed when ``jobs > 1``:
+    ``"thread"`` (default) uses a thread pool, ``"process"`` ships chunked
+    batches of profile pairs to a ``ProcessPoolExecutor`` (``jobs``
+    defaults to the machine's core count on this backend — asking for
+    processes is asking for multi-core fan-out) — profiles are
+    picklable by construction, and both backends install blocks in
+    deterministic pair order, edge-for-edge identical to serial
+    construction.  Stores are not thread-safe; parallelism is internal
+    (missing blocks of one :meth:`graph`/:meth:`ensure_blocks` call are
+    computed concurrently, then installed from the calling thread).
     """
 
     def __init__(
@@ -140,13 +360,28 @@ class EdgeBlockStore:
         schema: Schema,
         settings: AnalysisSettings = AnalysisSettings(),
         jobs: int | None = None,
+        backend: str = "thread",
     ):
+        if backend not in BACKENDS:
+            raise ProgramError(
+                f"unknown block-construction backend {backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
         self.schema = schema
         self.settings = settings
         self.jobs = jobs
+        self.backend = backend
         self._ltps: dict[str, LTP] = {}
-        self._effective: dict[str, dict[str, Statement]] = {}
+        self._profiles: dict[str, ProgramProfile] = {}
         self._blocks: dict[tuple[str, str], tuple[SummaryEdge, ...]] = {}
+        #: Per-program index of the block pairs it participates in — the
+        #: incremental-replace primitive: :meth:`discard` deletes exactly
+        #: these instead of rebuilding the whole block dict.
+        self._pairs_by_name: dict[str, set[tuple[str, str]]] = {}
+        #: Per-block ``(has_non_counterflow, has_counterflow)`` flags,
+        #: computed lazily — the substrate of the pair-matrix fast path of
+        #: :class:`repro.detection.subsets.PairMatrix`.
+        self._flags: dict[tuple[str, str], tuple[bool, bool]] = {}
         self._computed = 0
         self._loaded = 0
         self._hits = 0
@@ -155,6 +390,7 @@ class EdgeBlockStore:
     def register(self, ltps: Iterable[LTP]) -> None:
         """Add LTPs to the store (idempotent for already-known programs).
 
+        Each new program is compiled once to its kernel profile.
         Re-registering a name with a *different* program is an error; use
         :meth:`discard` first (that is what incremental replacement does).
         """
@@ -162,9 +398,10 @@ class EdgeBlockStore:
             known = self._ltps.get(ltp.name)
             if known is None:
                 self._ltps[ltp.name] = ltp
-                self._effective[ltp.name] = effective_statements(
-                    ltp, self.schema, self.settings.granularity
+                self._profiles[ltp.name] = compile_profile(
+                    ltp, self.schema, self.settings
                 )
+                self._pairs_by_name[ltp.name] = set()
             elif known is not ltp and known != ltp:
                 raise ProgramError(
                     f"edge-block store already holds a different program named "
@@ -172,17 +409,22 @@ class EdgeBlockStore:
                 )
 
     def discard(self, names: Iterable[str]) -> None:
-        """Drop programs and every cached block they participate in."""
-        dropped = {name for name in names if name in self._ltps}
-        for name in dropped:
+        """Drop programs and every cached block they participate in.
+
+        Indexed per program: only the dropped programs' own blocks are
+        touched (``≤ 2n − 1`` each), not the whole block dict."""
+        for name in names:
+            if name not in self._ltps:
+                continue
             del self._ltps[name]
-            del self._effective[name]
-        if dropped:
-            self._blocks = {
-                pair: block
-                for pair, block in self._blocks.items()
-                if pair[0] not in dropped and pair[1] not in dropped
-            }
+            del self._profiles[name]
+            for pair in self._pairs_by_name.pop(name):
+                if pair in self._blocks:
+                    del self._blocks[pair]
+                    self._flags.pop(pair, None)
+                    other = pair[1] if pair[0] == name else pair[0]
+                    if other != name and other in self._pairs_by_name:
+                        self._pairs_by_name[other].discard(pair)
 
     @property
     def ltp_names(self) -> tuple[str, ...]:
@@ -199,14 +441,29 @@ class EdgeBlockStore:
         return name in self._ltps
 
     # -- blocks -------------------------------------------------------------
+    def _install(
+        self, pair: tuple[str, str], block: tuple[SummaryEdge, ...], *, loaded: bool
+    ) -> None:
+        if pair not in self._blocks:
+            if loaded:
+                self._loaded += 1
+            else:
+                self._computed += 1
+        elif not loaded:
+            self._computed += 1
+        self._blocks[pair] = block
+        self._flags.pop(pair, None)
+        self._pairs_by_name[pair[0]].add(pair)
+        self._pairs_by_name[pair[1]].add(pair)
+
     def _compute(self, pair: tuple[str, str]) -> tuple[SummaryEdge, ...]:
         source, target = pair
-        return _pair_edges(
-            self._ltps[source],
-            self._effective[source],
-            self._ltps[target],
-            self._effective[target],
-            self.settings,
+        return tuple(
+            _pair_block(
+                self._profiles[source],
+                self._profiles[target],
+                self.settings.use_foreign_keys,
+            )
         )
 
     def block(self, source: str, target: str) -> tuple[SummaryEdge, ...]:
@@ -220,9 +477,22 @@ class EdgeBlockStore:
             if name not in self._ltps:
                 raise ProgramError(f"edge-block store: unknown program {name!r}")
         block = self._compute(pair)
-        self._blocks[pair] = block
-        self._computed += 1
+        self._install(pair, block, loaded=False)
         return block
+
+    def block_flags(self, source: str, target: str) -> tuple[bool, bool]:
+        """``(has_non_counterflow, has_counterflow)`` of one cached block.
+
+        Requires the block to be cached (``ensure_blocks`` first); the scan
+        happens once per block and is memoized."""
+        pair = (source, target)
+        flags = self._flags.get(pair)
+        if flags is None:
+            block = self._blocks[pair]
+            has_counterflow = any(edge.counterflow for edge in block)
+            has_non_counterflow = any(not edge.counterflow for edge in block)
+            flags = self._flags[pair] = (has_non_counterflow, has_counterflow)
+        return flags
 
     def load_block(
         self, source: str, target: str, edges: Iterable[SummaryEdge]
@@ -231,16 +501,18 @@ class EdgeBlockStore:
         for name in (source, target):
             if name not in self._ltps:
                 raise ProgramError(f"edge-block store: unknown program {name!r}")
-        if (source, target) not in self._blocks:
-            self._loaded += 1
-        self._blocks[(source, target)] = tuple(edges)
+        self._install((source, target), tuple(edges), loaded=True)
 
     def ensure_blocks(
-        self, names: Sequence[str] | None = None, jobs: int | None = None
+        self,
+        names: Sequence[str] | None = None,
+        jobs: int | None = None,
+        backend: str | None = None,
     ) -> int:
         """Compute every missing block among ``names`` (all registered when
-        ``None``), in parallel when ``jobs`` (or the store default) asks
-        for more than one worker.  Returns the number of blocks computed."""
+        ``None``), fanning out over the thread or process backend when
+        ``jobs`` (or the store default) asks for more than one worker.
+        Returns the number of blocks computed."""
         if names is None:
             names = self.ltp_names
         missing = [
@@ -258,21 +530,61 @@ class EdgeBlockStore:
                         f"edge-block store: unknown program {name!r}"
                     )
         workers = self.jobs if jobs is None else jobs
+        backend = self.backend if backend is None else backend
+        if backend not in BACKENDS:
+            raise ProgramError(
+                f"unknown block-construction backend {backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        if workers is None and backend == "process":
+            # Asking for the process backend *is* asking for multi-core
+            # fan-out; without an explicit jobs= it would otherwise fall
+            # through to the serial path and silently never fork.
+            workers = os.cpu_count() or 1
         if workers is not None and workers > 1 and len(missing) > 1:
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                computed = list(pool.map(self._compute, missing))
-            for pair, block in zip(missing, computed):
-                self._blocks[pair] = block
-                self._computed += 1
+            if backend == "process":
+                self._compute_with_processes(missing, workers)
+            else:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    computed = list(pool.map(self._compute, missing))
+                for pair, block in zip(missing, computed):
+                    self._install(pair, block, loaded=False)
         else:
             for pair in missing:
-                self._blocks[pair] = self._compute(pair)
-                self._computed += 1
+                self._install(pair, self._compute(pair), loaded=False)
         return len(missing)
+
+    def _compute_with_processes(
+        self, missing: Sequence[tuple[str, str]], workers: int
+    ) -> None:
+        """Fan the missing blocks out to a process pool, in chunked batches.
+
+        Each worker receives the involved profiles once (pool initializer),
+        batches carry only name pairs, and edge blocks come back as lists
+        of (named-tuple) edges; blocks are installed here in pair order, so
+        the result is deterministic and edge-for-edge identical to serial
+        construction whatever order the batches complete in.
+        """
+        involved = {name for pair in missing for name in pair}
+        profiles = {name: self._profiles[name] for name in involved}
+        # ~4 batches per worker amortizes pickling while keeping the pool fed.
+        batches = _chunked(list(missing), workers * 4)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(profiles, self.settings.use_foreign_keys),
+        ) as pool:
+            batched_blocks = list(pool.map(_worker_batch, batches))
+        for batch, block_list in zip(batches, batched_blocks):
+            for pair, block in zip(batch, block_list):
+                self._install(pair, tuple(block), loaded=False)
 
     # -- assembly -----------------------------------------------------------
     def graph(
-        self, names: Sequence[str] | None = None, jobs: int | None = None
+        self,
+        names: Sequence[str] | None = None,
+        jobs: int | None = None,
+        backend: str | None = None,
     ) -> SummaryGraph:
         """``SuG`` over ``names`` (all registered programs when ``None``),
         assembled by concatenating blocks in ordered-pair order — the edge
@@ -283,7 +595,7 @@ class EdgeBlockStore:
             names = list(names)
             if len(set(names)) != len(names):
                 raise ProgramError(f"duplicate LTP names: {names!r}")
-        freshly_computed = self.ensure_blocks(names, jobs=jobs)
+        freshly_computed = self.ensure_blocks(names, jobs=jobs, backend=backend)
         blocks = self._blocks
         edges: list[SummaryEdge] = []
         for source in names:
@@ -310,10 +622,12 @@ class EdgeBlockStore:
         return dict(self._blocks)
 
     def clear(self) -> None:
-        """Drop all programs, blocks, and counters."""
+        """Drop all programs, profiles, blocks, and counters."""
         self._ltps.clear()
-        self._effective.clear()
+        self._profiles.clear()
         self._blocks.clear()
+        self._pairs_by_name.clear()
+        self._flags.clear()
         self._computed = 0
         self._loaded = 0
         self._hits = 0
@@ -321,5 +635,6 @@ class EdgeBlockStore:
     def __repr__(self) -> str:
         return (
             f"EdgeBlockStore(settings={self.settings.label!r}, "
-            f"programs={len(self._ltps)}, blocks={len(self._blocks)})"
+            f"programs={len(self._ltps)}, blocks={len(self._blocks)}, "
+            f"backend={self.backend!r})"
         )

@@ -56,6 +56,24 @@ NC_DEP_TABLE = _table(
     }
 )
 
+#: Dense statement-type ids in Table 1 column order; the compiled kernel
+#: stores these in statement profiles so the table dispatch of Algorithm 1
+#: becomes two tuple indexings per occurrence pair.
+TYPE_INDEX: dict[StatementType, int] = {
+    stype: index for index, stype in enumerate(TYPE_ORDER)
+}
+
+
+def _rows(
+    table: dict[tuple[StatementType, StatementType], TableEntry]
+) -> tuple[tuple[TableEntry, ...], ...]:
+    """The table re-indexed by dense type ids: ``rows[id_i][id_j]``."""
+    return tuple(
+        tuple(table[(row_type, col_type)] for col_type in TYPE_ORDER)
+        for row_type in TYPE_ORDER
+    )
+
+
 #: Table (1b): when can statements ``q_i``, ``q_j`` admit a *counterflow*
 #: dependency?  Only (predicate) rw-antidependencies can be counterflow
 #: (Lemma 4.1), which is why rows for write-only statements are all False
@@ -75,3 +93,8 @@ C_DEP_TABLE = _table(
         _PDEL: (True, False, False, None, None, True, True),
     }
 )
+
+#: The same tables pre-resolved per dense type-id pair
+#: (``NC_DEP_ROWS[TYPE_INDEX[qi.stype]][TYPE_INDEX[qj.stype]]``).
+NC_DEP_ROWS: tuple[tuple[TableEntry, ...], ...] = _rows(NC_DEP_TABLE)
+C_DEP_ROWS: tuple[tuple[TableEntry, ...], ...] = _rows(C_DEP_TABLE)

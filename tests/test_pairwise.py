@@ -16,7 +16,7 @@ from repro.btp.unfold import unfold
 from repro.errors import ProgramError
 from repro.summary.construct import construct_summary_graph
 from repro.summary.graph import SummaryGraph
-from repro.summary.pairwise import EdgeBlockStore, pair_edges
+from repro.summary.pairwise import EdgeBlockStore, pair_edges, pair_edges_reference
 from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK, TPL_DEP
 from repro.workloads import auction_n, smallbank, tpcc
 
@@ -76,6 +76,16 @@ class TestStoreParity:
         assembled = store.graph([ltp.name for ltp in ltps])
         assert assembled.edges == monolithic.edges
         assert assembled.program_names == monolithic.program_names
+        # ... and both equal the frozenset reference path concatenated in
+        # ordered-pair order (construct_summary_graph itself runs on the
+        # compiled kernel now, so the reference is the independent baseline)
+        reference = tuple(
+            edge
+            for ltp_i in ltps
+            for ltp_j in ltps
+            for edge in pair_edges_reference(ltp_i, ltp_j, workload.schema, settings)
+        )
+        assert assembled.edges == reference
 
     @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
     def test_subset_parity_every_pair(self, workload_name):
