@@ -1,0 +1,148 @@
+"""Benchmark: warm-pool service throughput vs a fresh Analyzer per request.
+
+The point of :class:`repro.service.AnalysisService` is that a long-running
+process should answer repeat robustness queries from warm sessions instead
+of paying unfold + Algorithm 1 per request.  This benchmark replays the
+same ``analyze`` request stream two ways on Auction(n):
+
+* **cold** — what a one-shot CLI deployment does: every request builds a
+  fresh :class:`Analyzer` and serializes its report;
+* **warm** — the service path: every request goes through
+  :meth:`AnalysisService.handle` (full request validation + dispatch) and
+  lands on the pooled session, whose blocks and reports are already hot.
+
+Requests cycle through all four Section 7.2 settings, so the warm pool is
+exercised across settings rows, not just one memoized report.  The gate
+requires the warm path to sustain >= 5x the cold throughput (it is
+typically orders of magnitude faster; 5x keeps the gate robust on noisy
+shared runners), and both paths must produce byte-identical payloads.
+
+Numbers are recorded to ``BENCH_service.json`` via
+:func:`conftest.record_benchmark`.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_service.py [--scale N]
+           [--requests R] [--repetitions K] [--threshold X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from conftest import record_benchmark
+
+from repro.analysis import Analyzer
+from repro.service import AnalysisService
+from repro.summary.settings import ALL_SETTINGS, AnalysisSettings
+from repro.workloads import auction_n
+
+
+def _request_stream(workload_source: str, requests: int) -> list[dict]:
+    return [
+        {
+            "workload": workload_source,
+            "setting": ALL_SETTINGS[index % len(ALL_SETTINGS)].label,
+        }
+        for index in range(requests)
+    ]
+
+
+def _run_cold(stream: list[dict]) -> tuple[float, list[dict]]:
+    """A fresh session per request — the pre-service deployment model."""
+    payloads = []
+    started = time.perf_counter()
+    for body in stream:
+        session = Analyzer(body["workload"])
+        payloads.append(
+            session.analyze(AnalysisSettings.from_label(body["setting"])).to_dict()
+        )
+    return time.perf_counter() - started, payloads
+
+
+def _run_warm(service: AnalysisService, stream: list[dict]) -> tuple[float, list[dict]]:
+    """The service path: validation + dispatch + warm pooled session."""
+    payloads = []
+    started = time.perf_counter()
+    for body in stream:
+        payloads.append(service.handle("analyze", body))
+    return time.perf_counter() - started, payloads
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=5, help="Auction(n) scale")
+    parser.add_argument(
+        "--requests", type=int, default=40, help="requests per measured run"
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=3, help="measured runs (best-of)"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=5.0,
+        help="required warm-over-cold throughput ratio",
+    )
+    args = parser.parse_args(argv)
+
+    source = f"auction({args.scale})"
+    workload = auction_n(args.scale)
+    stream = _request_stream(source, args.requests)
+    print(
+        f"Auction({args.scale}): {len(workload.programs)} programs, "
+        f"{args.requests} analyze requests cycling "
+        f"{len(ALL_SETTINGS)} settings, best of {args.repetitions} runs\n"
+    )
+
+    service = AnalysisService()
+    best_cold = float("inf")
+    best_warm = float("inf")
+    reference = None
+    for _ in range(args.repetitions):
+        cold_seconds, cold_payloads = _run_cold(stream)
+        warm_seconds, warm_payloads = _run_warm(service, stream)
+        if cold_payloads != warm_payloads:
+            print("FAIL: warm service payloads differ from fresh-session payloads")
+            return 1
+        if reference is None:
+            reference = cold_payloads
+        best_cold = min(best_cold, cold_seconds)
+        best_warm = min(best_warm, warm_seconds)
+
+    cold_rps = args.requests / best_cold
+    warm_rps = args.requests / best_warm
+    speedup = best_cold / best_warm
+    print(f"{'path':12s} {'total [s]':>10s} {'requests/s':>12s}")
+    print(f"{'cold':12s} {best_cold:10.3f} {cold_rps:12.1f}")
+    print(f"{'warm pool':12s} {best_warm:10.3f} {warm_rps:12.1f}")
+    print(f"\nwarm-over-cold speedup: {speedup:.1f}x (gate: {args.threshold:.1f}x)")
+
+    record_benchmark(
+        "service",
+        {
+            "scale": args.scale,
+            "requests": args.requests,
+            "repetitions": args.repetitions,
+            "cold_seconds": best_cold,
+            "warm_seconds": best_warm,
+            "cold_requests_per_second": cold_rps,
+            "warm_requests_per_second": warm_rps,
+            "speedup": speedup,
+            "threshold": args.threshold,
+            "passed": speedup >= args.threshold,
+        },
+    )
+
+    if speedup < args.threshold:
+        print(f"FAIL: speedup {speedup:.1f}x < {args.threshold:.1f}x")
+        return 1
+    print(
+        f"PASS: warm service pool >= {args.threshold:.1f}x over a fresh "
+        "Analyzer per request (payloads byte-identical)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,7 @@ from repro.btp import (
 from repro.detection import (
     CycleWitness,
     RobustnessReport,
+    SubsetsReport,
     analyze,
     is_robust_type1,
     is_robust_type2,
@@ -65,6 +66,16 @@ from repro.errors import (
     SqlError,
 )
 from repro.schema import ForeignKey, Relation, Schema
+from repro.service import (
+    AnalysisService,
+    AnalyzeRequest,
+    BatchRequest,
+    GraphRequest,
+    GridRequest,
+    GridSpec,
+    ServiceError,
+    SubsetsRequest,
+)
 from repro.summary import (
     ALL_SETTINGS,
     ATTR_DEP,
@@ -80,16 +91,26 @@ from repro.summary import (
     build_summary_graph,
     construct_summary_graph,
     pair_edges,
+    workload_fingerprint,
 )
 from repro.workloads import Workload
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
     # analysis sessions
     "Analyzer",
     "AnalysisMatrix",
+    # the warm-session service and its request/grid layer
+    "AnalysisService",
+    "AnalyzeRequest",
+    "SubsetsRequest",
+    "GraphRequest",
+    "GridRequest",
+    "BatchRequest",
+    "GridSpec",
+    "ServiceError",
     # schema
     "Schema",
     "Relation",
@@ -120,9 +141,11 @@ __all__ = [
     "TPL_DEP_FK",
     "ATTR_DEP_FK",
     "ALL_SETTINGS",
+    "workload_fingerprint",
     # detection
     "analyze",
     "RobustnessReport",
+    "SubsetsReport",
     "is_robust_type1",
     "is_robust_type2",
     "robust_subsets",

@@ -29,8 +29,8 @@ settings of Section 7.2) reuse the unfolding across rows.
 from __future__ import annotations
 
 import dataclasses
-import hashlib
 import json
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Mapping, Sequence
@@ -50,6 +50,7 @@ from repro.detection.typei import find_type1_violation
 from repro.detection.typeii import find_type2_violation
 from repro.errors import ProgramError
 from repro.schema import Schema
+from repro.summary.fingerprint import schema_fingerprint, workload_fingerprint
 from repro.summary.graph import SummaryEdge, SummaryGraph
 from repro.summary.pairwise import EdgeBlockStore
 from repro.summary.settings import ALL_SETTINGS, AnalysisSettings
@@ -57,14 +58,12 @@ from repro.workloads.base import Workload, WorkloadSource
 
 #: On-disk session-cache format identifier (see :meth:`Analyzer.save_cache`).
 CACHE_FORMAT = "repro-analyzer-cache"
-#: Current session-cache schema version.
-CACHE_VERSION = 1
+#: Current session-cache schema version (2 adds the workload fingerprint;
+#: version-1 files without one still load via the per-program checks).
+CACHE_VERSION = 2
 
-
-def _schema_fingerprint(schema: Schema) -> str:
-    """A content hash of a schema (its fields are tuples of frozen
-    dataclasses, so ``repr`` is deterministic across processes)."""
-    return hashlib.sha256(repr(schema).encode()).hexdigest()
+# Backwards-compatible alias; the helper now lives in repro.summary.fingerprint.
+_schema_fingerprint = schema_fingerprint
 
 
 @dataclass(frozen=True)
@@ -151,7 +150,12 @@ class Analyzer:
     process pool (real multi-core construction), ``"thread"`` (default)
     keeps the in-process pool.
 
-    Sessions are not thread-safe; share the workload, not the session.
+    Sessions are thread-safe: a reentrant lock serializes the memoized
+    stages (unfold → blocks → reports) and the incremental edits, so
+    concurrent callers — e.g. the :class:`repro.service.AnalysisService`
+    answering parallel HTTP requests against one warm session — never
+    double-compute a stage or observe a half-evicted cache.  Parallelism
+    *within* a stage still comes from ``jobs=``/``backend=``.
     """
 
     def __init__(
@@ -179,6 +183,11 @@ class Analyzer:
         self._stores: dict[AnalysisSettings, EdgeBlockStore] = {}
         self._graphs: dict[tuple[AnalysisSettings, frozenset[str]], SummaryGraph] = {}
         self._reports: dict[tuple[AnalysisSettings, frozenset[str]], RobustnessReport] = {}
+        # One reentrant lock over every memoized stage and incremental edit:
+        # analyze → summary_graph → edge_block_store nest, and a coarse lock
+        # is what guarantees a stage is computed exactly once under
+        # concurrent requests (finer locking could only double-compute).
+        self._lock = threading.RLock()
 
     # -- workload accessors -------------------------------------------------
     @property
@@ -209,27 +218,42 @@ class Analyzer:
     # -- stage 1: unfolding -------------------------------------------------
     def unfolded(self, subset: Iterable[str] | None = None) -> tuple[LTP, ...]:
         """``Unfold≤k`` of the subset's programs, unfolding each BTP once."""
-        ltps: list[LTP] = []
-        for name in self._subset_names(subset):
-            if name not in self._ltps_by_program:
-                self._ltps_by_program[name] = unfold_program(
-                    self.workload.program(name), self.max_loop_iterations
-                )
-            ltps.extend(self._ltps_by_program[name])
-        return tuple(ltps)
+        with self._lock:
+            ltps: list[LTP] = []
+            for name in self._subset_names(subset):
+                if name not in self._ltps_by_program:
+                    self._ltps_by_program[name] = unfold_program(
+                        self.workload.program(name), self.max_loop_iterations
+                    )
+                ltps.extend(self._ltps_by_program[name])
+            return tuple(ltps)
+
+    def fingerprint(self) -> str:
+        """The session's workload fingerprint: schema content hash plus the
+        unfold hash of every program (under this session's
+        ``max_loop_iterations``).  Two sessions share a fingerprint exactly
+        when they can exchange :meth:`save_cache` artifacts; it is the key
+        of the :class:`repro.service.AnalysisService` warm-session pool and
+        of fingerprint-named cache files."""
+        with self._lock:
+            self.unfolded()
+            return workload_fingerprint(
+                self.schema, self._ltps_by_program, self.max_loop_iterations
+            )
 
     # -- stage 2: summary-graph construction --------------------------------
     def edge_block_store(
         self, settings: AnalysisSettings = AnalysisSettings()
     ) -> EdgeBlockStore:
         """The per-settings pairwise edge-block cache behind Algorithm 1."""
-        store = self._stores.get(settings)
-        if store is None:
-            store = EdgeBlockStore(
-                self.schema, settings, jobs=self.jobs, backend=self.backend
-            )
-            self._stores[settings] = store
-        return store
+        with self._lock:
+            store = self._stores.get(settings)
+            if store is None:
+                store = EdgeBlockStore(
+                    self.schema, settings, jobs=self.jobs, backend=self.backend
+                )
+                self._stores[settings] = store
+            return store
 
     def summary_graph(
         self,
@@ -243,17 +267,18 @@ class Analyzer:
         any blocks shared with previous queries — full-set or subset — are
         reused as-is.
         """
-        names = self._subset_names(subset)
-        key = (settings, frozenset(names))
-        cached = self._graphs.get(key)
-        if cached is not None:
-            return cached
-        store = self.edge_block_store(settings)
-        ltps = self.unfolded(names)
-        store.register(ltps)
-        graph = store.graph([ltp.name for ltp in ltps], jobs=self.jobs)
-        self._graphs[key] = graph
-        return graph
+        with self._lock:
+            names = self._subset_names(subset)
+            key = (settings, frozenset(names))
+            cached = self._graphs.get(key)
+            if cached is not None:
+                return cached
+            store = self.edge_block_store(settings)
+            ltps = self.unfolded(names)
+            store.register(ltps)
+            graph = store.graph([ltp.name for ltp in ltps], jobs=self.jobs)
+            self._graphs[key] = graph
+            return graph
 
     # -- stage 3: cycle detection -------------------------------------------
     def analyze(
@@ -262,25 +287,26 @@ class Analyzer:
         subset: Iterable[str] | None = None,
     ) -> RobustnessReport:
         """Both detection methods over the (cached) summary graph."""
-        names = self._subset_names(subset)
-        key = (settings, frozenset(names))
-        cached = self._reports.get(key)
-        if cached is not None:
-            return cached
-        graph = self.summary_graph(settings, names)
-        witness = find_type2_violation(graph)
-        type1_witness = find_type1_violation(graph)
-        report = RobustnessReport(
-            settings=settings,
-            graph=graph,
-            robust=witness is None,
-            type1_robust=type1_witness is None,
-            witness=witness,
-            type1_witness=type1_witness,
-            workload=self._label(names),
-        )
-        self._reports[key] = report
-        return report
+        with self._lock:
+            names = self._subset_names(subset)
+            key = (settings, frozenset(names))
+            cached = self._reports.get(key)
+            if cached is not None:
+                return cached
+            graph = self.summary_graph(settings, names)
+            witness = find_type2_violation(graph)
+            type1_witness = find_type1_violation(graph)
+            report = RobustnessReport(
+                settings=settings,
+                graph=graph,
+                robust=witness is None,
+                type1_robust=type1_witness is None,
+                witness=witness,
+                type1_witness=type1_witness,
+                workload=self._label(names),
+            )
+            self._reports[key] = report
+            return report
 
     def analyze_matrix(self, subset: Iterable[str] | None = None) -> AnalysisMatrix:
         """One report per setting of Section 7.2, sharing the unfolding."""
@@ -318,26 +344,27 @@ class Analyzer:
         Subsets of attested-robust sets still inherit robustness without
         testing (Proposition 5.2).
         """
-        check = _resolve_method(method)
-        full = self.summary_graph(settings)  # registers LTPs, fills all blocks
-        store = self.edge_block_store(settings)
-        ltp_names = {
-            name: tuple(ltp.name for ltp in self._ltps_by_program[name])
-            for name in self.program_names
-        }
-        all_names = frozenset(self.program_names)
+        with self._lock:
+            check = _resolve_method(method)
+            full = self.summary_graph(settings)  # registers LTPs, fills all blocks
+            store = self.edge_block_store(settings)
+            ltp_names = {
+                name: tuple(ltp.name for ltp in self._ltps_by_program[name])
+                for name in self.program_names
+            }
+            all_names = frozenset(self.program_names)
 
-        matrix = PairMatrix.for_method(store, ltp_names, check, full_graph=full)
-        if matrix is not None:
-            return enumerate_robust_subsets(self.program_names, matrix.verdict)
+            matrix = PairMatrix.for_method(store, ltp_names, check, full_graph=full)
+            if matrix is not None:
+                return enumerate_robust_subsets(self.program_names, matrix.verdict)
 
-        def check_combo(combo: tuple[str, ...]) -> bool:
-            if frozenset(combo) == all_names:
-                return check(full)
-            keep = [ltp for name in combo for ltp in ltp_names[name]]
-            return check(store.graph(keep))
+            def check_combo(combo: tuple[str, ...]) -> bool:
+                if frozenset(combo) == all_names:
+                    return check(full)
+                keep = [ltp for name in combo for ltp in ltp_names[name]]
+                return check(store.graph(keep))
 
-        return enumerate_robust_subsets(self.program_names, check_combo)
+            return enumerate_robust_subsets(self.program_names, check_combo)
 
     def maximal_robust_subsets(
         self,
@@ -352,27 +379,29 @@ class Analyzer:
         """Swap in a new program tuple; ``Workload.__post_init__`` validates
         the result before ``self.workload`` is reassigned, so a bad edit
         raises and leaves the session untouched."""
-        self.workload = dataclasses.replace(self.workload, programs=tuple(programs))
-        # The original source string no longer describes this workload, so a
-        # cache saved now must not advertise it to `repro cache load`.
-        self._source_hint = None
+        with self._lock:
+            self.workload = dataclasses.replace(self.workload, programs=tuple(programs))
+            # The original source string no longer describes this workload, so a
+            # cache saved now must not advertise it to `repro cache load`.
+            self._source_hint = None
 
     def _evict_program(self, name: str) -> None:
         """Drop everything derived from one program: its unfoldings, every
         edge block involving one of its LTPs, and every graph/report whose
         subset contains it.  Results over subsets *not* containing the
         program stay cached — they are unaffected by the change."""
-        ltps = self._ltps_by_program.pop(name, None)
-        if ltps is not None:
-            ltp_names = [ltp.name for ltp in ltps]
-            for store in self._stores.values():
-                store.discard(ltp_names)
-        self._graphs = {
-            key: graph for key, graph in self._graphs.items() if name not in key[1]
-        }
-        self._reports = {
-            key: report for key, report in self._reports.items() if name not in key[1]
-        }
+        with self._lock:
+            ltps = self._ltps_by_program.pop(name, None)
+            if ltps is not None:
+                ltp_names = [ltp.name for ltp in ltps]
+                for store in self._stores.values():
+                    store.discard(ltp_names)
+            self._graphs = {
+                key: graph for key, graph in self._graphs.items() if name not in key[1]
+            }
+            self._reports = {
+                key: report for key, report in self._reports.items() if name not in key[1]
+            }
 
     def add_program(self, program: BTP) -> None:
         """Extend the workload with a new program.
@@ -382,23 +411,25 @@ class Analyzer:
         involve the new program's LTPs — at most ``2n − 1`` of the ``n²``
         program-pair blocks.
         """
-        if program.name in self.program_names:
-            raise ProgramError(
-                f"workload {self.workload.name!r}: program {program.name!r} already "
-                "exists; use replace_program"
-            )
-        self._set_programs(self.workload.programs + (program,))
+        with self._lock:
+            if program.name in self.program_names:
+                raise ProgramError(
+                    f"workload {self.workload.name!r}: program {program.name!r} already "
+                    "exists; use replace_program"
+                )
+            self._set_programs(self.workload.programs + (program,))
 
     def remove_program(self, name: str) -> None:
         """Drop a program from the workload, evicting only its own caches."""
-        if name not in self.program_names:
-            raise ProgramError(
-                f"workload {self.workload.name!r}: unknown program {name!r}"
+        with self._lock:
+            if name not in self.program_names:
+                raise ProgramError(
+                    f"workload {self.workload.name!r}: unknown program {name!r}"
+                )
+            self._set_programs(
+                [program for program in self.workload.programs if program.name != name]
             )
-        self._set_programs(
-            [program for program in self.workload.programs if program.name != name]
-        )
-        self._evict_program(name)
+            self._evict_program(name)
 
     def replace_program(self, program: BTP, name: str | None = None) -> None:
         """Swap one program for a new version, keeping all other caches.
@@ -408,22 +439,23 @@ class Analyzer:
         program's LTPs are recomputed on the next analysis.
         """
         replaced = name if name is not None else program.name
-        if replaced not in self.program_names:
-            raise ProgramError(
-                f"workload {self.workload.name!r}: unknown program {replaced!r}"
+        with self._lock:
+            if replaced not in self.program_names:
+                raise ProgramError(
+                    f"workload {self.workload.name!r}: unknown program {replaced!r}"
+                )
+            if program.name != replaced and program.name in self.program_names:
+                raise ProgramError(
+                    f"workload {self.workload.name!r}: program {program.name!r} already "
+                    "exists"
+                )
+            self._set_programs(
+                [
+                    program if existing.name == replaced else existing
+                    for existing in self.workload.programs
+                ]
             )
-        if program.name != replaced and program.name in self.program_names:
-            raise ProgramError(
-                f"workload {self.workload.name!r}: program {program.name!r} already "
-                "exists"
-            )
-        self._set_programs(
-            [
-                program if existing.name == replaced else existing
-                for existing in self.workload.programs
-            ]
-        )
-        self._evict_program(replaced)
+            self._evict_program(replaced)
 
     # -- persistence --------------------------------------------------------
     def save_cache(self, path: str | Path) -> None:
@@ -434,35 +466,43 @@ class Analyzer:
         stages that dominate analysis cost.  Reports are *not* stored; cycle
         detection is cheap and reruns on demand.  Restore with
         :meth:`load_cache` in any session over the same workload.
+
+        The artifact is keyed by the session's workload :meth:`fingerprint`
+        (schema + program unfold hashes + ``max_loop_iterations``), which is
+        what :meth:`load_cache` matches against and what
+        :meth:`repro.service.AnalysisService.warm_from_cache_dir` pools
+        warm sessions under.
         """
-        data = {
-            "format": CACHE_FORMAT,
-            "version": CACHE_VERSION,
-            "workload": self.workload.name,
-            "source": self._source_hint,
-            "schema": _schema_fingerprint(self.schema),
-            "max_loop_iterations": self.max_loop_iterations,
-            "program_names": list(self.program_names),
-            "unfolded": {
-                name: [ltp.to_dict() for ltp in ltps]
-                for name, ltps in self._ltps_by_program.items()
-            },
-            "stores": [
-                {
-                    "settings": settings.label,
-                    "blocks": [
-                        {
-                            "source": source,
-                            "target": target,
-                            "edges": [edge.to_dict() for edge in edges],
-                        }
-                        for (source, target), edges in store.blocks().items()
-                    ],
-                }
-                for settings, store in self._stores.items()
-            ],
-        }
-        Path(path).write_text(json.dumps(data))
+        with self._lock:
+            data = {
+                "format": CACHE_FORMAT,
+                "version": CACHE_VERSION,
+                "workload": self.workload.name,
+                "source": self._source_hint,
+                "schema": _schema_fingerprint(self.schema),
+                "fingerprint": self.fingerprint(),
+                "max_loop_iterations": self.max_loop_iterations,
+                "program_names": list(self.program_names),
+                "unfolded": {
+                    name: [ltp.to_dict() for ltp in ltps]
+                    for name, ltps in self._ltps_by_program.items()
+                },
+                "stores": [
+                    {
+                        "settings": settings.label,
+                        "blocks": [
+                            {
+                                "source": source,
+                                "target": target,
+                                "edges": [edge.to_dict() for edge in edges],
+                            }
+                            for (source, target), edges in store.blocks().items()
+                        ],
+                    }
+                    for settings, store in self._stores.items()
+                ],
+            }
+            Path(path).write_text(json.dumps(data))
 
     def load_cache(self, path: str | Path) -> None:
         """Seed this session's caches from a :meth:`save_cache` file.
@@ -474,59 +514,71 @@ class Analyzer:
         changed is rejected rather than silently answered with stale
         blocks.  Edge blocks themselves are trusted as saved — no block is
         recomputed, which is the point (verify via :meth:`cache_info`).
+
+        A version-2 cache carries the workload :meth:`fingerprint`; a match
+        subsumes the per-program unfold comparison (the fingerprint *is* the
+        hash of those unfoldings), so staleness is usually decided by one
+        hash comparison.  A mismatch falls back to the per-program checks —
+        a cache legitimately covers a *subset* of the workload's programs
+        (e.g. the workload gained one since), which changes the whole-set
+        hash without staling any cached block.  Version-1 caches without a
+        fingerprint always take the per-program path.
         """
-        data = json.loads(Path(path).read_text())
-        if data.get("format") != CACHE_FORMAT:
-            raise ProgramError(f"{path}: not a {CACHE_FORMAT} file")
-        if data.get("version") != CACHE_VERSION:
-            raise ProgramError(
-                f"{path}: unsupported cache version {data.get('version')!r} "
-                f"(expected {CACHE_VERSION})"
-            )
-        if data["max_loop_iterations"] != self.max_loop_iterations:
-            raise ProgramError(
-                f"{path}: cache was built with max_loop_iterations="
-                f"{data['max_loop_iterations']}, session uses "
-                f"{self.max_loop_iterations}"
-            )
-        unknown = set(data["program_names"]) - set(self.program_names)
-        if unknown:
-            raise ProgramError(
-                f"{path}: cache covers programs {sorted(unknown)!r} that are not "
-                f"in workload {self.workload.name!r}"
-            )
-        if data["schema"] != _schema_fingerprint(self.schema):
-            raise ProgramError(
-                f"{path}: cache was built against a different schema than "
-                f"workload {self.workload.name!r}"
-            )
-        unfolded = {
-            name: tuple(LTP.from_dict(item) for item in ltps)
-            for name, ltps in data["unfolded"].items()
-        }
-        # Unfolding is cheap next to Algorithm 1; re-deriving it here is what
-        # lets us reject a cache whose same-named programs have changed.
-        for name, cached_ltps in unfolded.items():
-            fresh = unfold_program(
-                self.workload.program(name), self.max_loop_iterations
-            )
-            if fresh != cached_ltps:
+        with self._lock:
+            data = json.loads(Path(path).read_text())
+            if data.get("format") != CACHE_FORMAT:
+                raise ProgramError(f"{path}: not a {CACHE_FORMAT} file")
+            if data.get("version") not in (1, CACHE_VERSION):
                 raise ProgramError(
-                    f"{path}: cached program {name!r} differs from the "
-                    f"workload's current version; rebuild the cache"
+                    f"{path}: unsupported cache version {data.get('version')!r} "
+                    f"(expected <= {CACHE_VERSION})"
                 )
-        self._ltps_by_program.update(unfolded)
-        all_ltps = [ltp for ltps in unfolded.values() for ltp in ltps]
-        for entry in data["stores"]:
-            settings = AnalysisSettings.from_label(entry["settings"])
-            store = self.edge_block_store(settings)
-            store.register(all_ltps)
-            for block in entry["blocks"]:
-                store.load_block(
-                    block["source"],
-                    block["target"],
-                    (SummaryEdge.from_dict(item) for item in block["edges"]),
+            if data["max_loop_iterations"] != self.max_loop_iterations:
+                raise ProgramError(
+                    f"{path}: cache was built with max_loop_iterations="
+                    f"{data['max_loop_iterations']}, session uses "
+                    f"{self.max_loop_iterations}"
                 )
+            unknown = set(data["program_names"]) - set(self.program_names)
+            if unknown:
+                raise ProgramError(
+                    f"{path}: cache covers programs {sorted(unknown)!r} that are not "
+                    f"in workload {self.workload.name!r}"
+                )
+            if data["schema"] != _schema_fingerprint(self.schema):
+                raise ProgramError(
+                    f"{path}: cache was built against a different schema than "
+                    f"workload {self.workload.name!r}"
+                )
+            unfolded = {
+                name: tuple(LTP.from_dict(item) for item in ltps)
+                for name, ltps in data["unfolded"].items()
+            }
+            if data.get("fingerprint") != self.fingerprint():
+                # Re-derive each cached unfolding (cheap next to Algorithm 1)
+                # to reject same-named programs that changed; a cache over a
+                # strict subset of the programs passes this and loads fine.
+                for name, cached_ltps in unfolded.items():
+                    fresh = unfold_program(
+                        self.workload.program(name), self.max_loop_iterations
+                    )
+                    if fresh != cached_ltps:
+                        raise ProgramError(
+                            f"{path}: cached program {name!r} differs from the "
+                            f"workload's current version; rebuild the cache"
+                        )
+            self._ltps_by_program.update(unfolded)
+            all_ltps = [ltp for ltps in unfolded.values() for ltp in ltps]
+            for entry in data["stores"]:
+                settings = AnalysisSettings.from_label(entry["settings"])
+                store = self.edge_block_store(settings)
+                store.register(all_ltps)
+                for block in entry["blocks"]:
+                    store.load_block(
+                        block["source"],
+                        block["target"],
+                        (SummaryEdge.from_dict(item) for item in block["edges"]),
+                    )
 
     # -- cache management ---------------------------------------------------
     def cache_info(self) -> dict[str, int]:
@@ -537,24 +589,26 @@ class Analyzer:
         count under ``blocks_loaded`` instead, so a fully warmed session
         reports zero computations.
         """
-        stores = self._stores.values()
-        return {
-            "unfolded_programs": len(self._ltps_by_program),
-            "summary_graphs": len(self._graphs),
-            "reports": len(self._reports),
-            "edge_blocks": sum(store.cache_info()["blocks"] for store in stores),
-            "block_computations": sum(
-                store.cache_info()["computed"] for store in stores
-            ),
-            "blocks_loaded": sum(store.cache_info()["loaded"] for store in stores),
-        }
+        with self._lock:
+            stores = self._stores.values()
+            return {
+                "unfolded_programs": len(self._ltps_by_program),
+                "summary_graphs": len(self._graphs),
+                "reports": len(self._reports),
+                "edge_blocks": sum(store.cache_info()["blocks"] for store in stores),
+                "block_computations": sum(
+                    store.cache_info()["computed"] for store in stores
+                ),
+                "blocks_loaded": sum(store.cache_info()["loaded"] for store in stores),
+            }
 
     def clear_cache(self) -> None:
         """Drop all memoized stages (results are recomputed on demand)."""
-        self._ltps_by_program.clear()
-        self._stores.clear()
-        self._graphs.clear()
-        self._reports.clear()
+        with self._lock:
+            self._ltps_by_program.clear()
+            self._stores.clear()
+            self._graphs.clear()
+            self._reports.clear()
 
     def __repr__(self) -> str:
         return (

@@ -14,17 +14,26 @@ Commands:
   ``cache load <path> [--workload W]`` — persist a session's unfoldings and
   pairwise edge blocks to disk and restore them in a fresh process (no edge
   block is recomputed after a load);
+* ``serve [--host H] [--port P] [--capacity N] [--cache-dir DIR]`` — the
+  long-running HTTP service: an LRU pool of warm analyzer sessions behind
+  ``POST /v1/analyze``, ``/v1/subsets``, ``/v1/graph``, ``/v1/grid``,
+  ``/v1/batch`` and ``GET /v1/stats``; ``--cache-dir`` warms the pool from
+  ``cache save`` artifacts at startup;
 * ``experiments <table2|figure6|figure7|figure8|false-negatives|all>`` —
-  regenerate the paper's evaluation artifacts.
+  regenerate the paper's evaluation artifacts (one shared warm-session
+  service drives all grids, so e.g. Figure 7 reuses Figure 6's blocks).
 
 All commands accept any workload source :meth:`Workload.resolve` does, and
 the analysis commands accept ``--jobs N`` to compute pairwise edge blocks
 with ``N`` concurrent workers and ``--backend thread|process`` to pick the
 worker pool (``process`` fans compiled statement profiles out over real
 cores).  ``--json`` emits machine-readable reports
-(``RobustnessReport.to_dict`` shapes) for embedding in CI pipelines; errors
-(unknown workloads, missing files, malformed workload text) print to stderr
-and exit with status 2.
+(``RobustnessReport.to_dict`` shapes) for embedding in CI pipelines — the
+``analyze``/``subsets``/``graph`` JSON paths dispatch through the same
+:meth:`AnalysisService.handle` as the HTTP routes, so CLI output and
+``/v1/*`` responses are byte-identical; errors (unknown workloads, missing
+files, malformed workload text, malformed service requests) print to
+stderr and exit with status 2.
 """
 
 from __future__ import annotations
@@ -42,7 +51,13 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
 from repro.experiments.table2 import run_table2
-from repro.detection.subsets import format_subsets
+from repro.service.core import AnalysisService
+from repro.service.http import make_server, run_server
+from repro.service.requests import (
+    AnalyzeRequest,
+    GraphRequest,
+    SubsetsRequest,
+)
 from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK, AnalysisSettings
 from repro.viz import to_dot, to_text
 
@@ -90,61 +105,54 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _service_from(args: argparse.Namespace) -> AnalysisService:
+    """One-command service: same request layer as ``repro serve``."""
+    return AnalysisService(jobs=args.jobs, backend=args.backend)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload, jobs=args.jobs, backend=args.backend)
+    service = _service_from(args)
     subset = _subset_from(args.subset)
-    if args.all_settings:
-        matrix = session.analyze_matrix(subset)
-        if args.json:
-            print(matrix.to_json(indent=2))
-        else:
-            print(matrix.describe())
-        return 0
-    report = session.analyze(_settings_from(args.setting), subset)
+    request = AnalyzeRequest(
+        workload=args.workload,
+        setting=args.setting,
+        subset=tuple(subset) if subset is not None else None,
+        all_settings=args.all_settings,
+    )
     if args.json:
-        print(report.to_json(indent=2))
+        # The same dispatch the HTTP frontend uses — byte-identical payloads.
+        print(json.dumps(request.payload(service), indent=2))
+        return 0
+    result = service.analyze(request)
+    if args.all_settings:
+        print(result.describe())
     else:
-        print(f"workload: {report.workload}")
-        print(report.describe())
+        print(f"workload: {result.workload}")
+        print(result.describe())
     return 0
 
 
 def _cmd_subsets(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload, jobs=args.jobs, backend=args.backend)
-    settings = _settings_from(args.setting)
-    subsets = session.maximal_robust_subsets(settings, args.method)
+    service = _service_from(args)
+    request = SubsetsRequest(
+        workload=args.workload, setting=args.setting, method=args.method
+    )
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "workload": session.workload.name,
-                    "settings": settings.label,
-                    "method": args.method,
-                    "maximal_robust_subsets": [sorted(subset) for subset in subsets],
-                },
-                indent=2,
-            )
-        )
+        print(json.dumps(request.payload(service), indent=2))
         return 0
-    print(
-        f"workload: {session.workload.name}   setting: {settings.label}   "
-        f"method: {args.method}"
-    )
-    print(
-        "maximal robust subsets:",
-        format_subsets(subsets, dict(session.workload.abbreviations)) or "(none)",
-    )
+    print(service.subsets(request).describe())
     return 0
 
 
 def _cmd_graph(args: argparse.Namespace) -> int:
-    session = Analyzer(args.workload, jobs=args.jobs, backend=args.backend)
-    graph = session.summary_graph(_settings_from(args.setting))
+    service = _service_from(args)
+    request = GraphRequest(workload=args.workload, setting=args.setting)
     if args.json:
-        data = {"workload": session.workload.name, **graph.to_dict()}
-        print(json.dumps(data, indent=2))
-    elif args.format == "dot":
-        print(to_dot(graph, name=session.workload.name))
+        print(json.dumps(request.payload(service), indent=2))
+        return 0
+    name, graph = service.graph(request)
+    if args.format == "dot":
+        print(to_dot(graph, name=name))
     else:
         print(to_text(graph))
     return 0
@@ -194,16 +202,43 @@ def _cmd_cache_load(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = AnalysisService(
+        capacity=args.capacity, jobs=args.jobs, backend=args.backend
+    )
+    if args.cache_dir:
+        warmed = service.warm_from_cache_dir(args.cache_dir)
+        print(
+            f"warmed {len(warmed)} session(s) from {args.cache_dir}"
+            + (f": {', '.join(warmed)}" if warmed else "")
+        )
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro service listening on http://{host}:{port} "
+        "(POST /v1/analyze /v1/subsets /v1/graph /v1/grid /v1/batch, "
+        "GET /v1/stats; Ctrl-C to stop)",
+        flush=True,
+    )
+    run_server(server)
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    # One warm-session service behind every grid: `experiments all` shares
+    # unfoldings and pairwise edge blocks across tables and figures (Figure 7
+    # reuses every block Figure 6 computed).
+    service = AnalysisService(jobs=args.jobs, backend=args.backend)
     runners = {
-        "table2": lambda: run_table2().to_text(),
-        "figure6": lambda: run_figure6().to_text(),
-        "figure7": lambda: run_figure7().to_text(),
+        "table2": lambda: run_table2(service=service).to_text(),
+        "figure6": lambda: run_figure6(service).to_text(),
+        "figure7": lambda: run_figure7(service).to_text(),
         "figure8": lambda: run_figure8(
             scales=args.scales or (1, 2, 4, 8, 12, 16, 24, 32),
             repetitions=args.repetitions,
+            service=service,
         ).to_text(),
-        "false-negatives": lambda: run_false_negatives().to_text(),
+        "false-negatives": lambda: run_false_negatives(service=service).to_text(),
     }
     names = list(runners) if args.which == "all" else [args.which]
     for index, name in enumerate(names):
@@ -286,6 +321,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_argument(cache_load)
     cache_load.set_defaults(func=_cmd_cache_load)
 
+    serve = subparsers.add_parser(
+        "serve", help="run the long-running HTTP analysis service"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8000, help="bind port (0 picks a free one)"
+    )
+    serve.add_argument(
+        "--capacity",
+        type=int,
+        default=8,
+        metavar="N",
+        help="max warm analyzer sessions kept in the LRU pool",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="warm the session pool from 'repro cache save' artifacts at startup",
+    )
+    _add_jobs_argument(serve)
+    serve.set_defaults(func=_cmd_serve)
+
     experiments = subparsers.add_parser(
         "experiments", help="regenerate the paper's tables and figures"
     )
@@ -297,6 +354,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scales", type=int, nargs="+", help="Auction(n) scaling factors for figure8"
     )
     experiments.add_argument("--repetitions", type=int, default=10)
+    _add_jobs_argument(experiments)
     experiments.set_defaults(func=_cmd_experiments)
     return parser
 

@@ -13,7 +13,12 @@ workloads (Section 7.2).
 """
 
 from repro.detection.api import RobustnessReport, analyze
-from repro.detection.subsets import PairMatrix, maximal_robust_subsets, robust_subsets
+from repro.detection.subsets import (
+    PairMatrix,
+    SubsetsReport,
+    maximal_robust_subsets,
+    robust_subsets,
+)
 from repro.detection.typei import find_type1_violation, is_robust_type1
 from repro.detection.typeii import find_type2_violation, is_robust_type2, is_robust_type2_naive
 from repro.detection.witness import CycleWitness
@@ -28,6 +33,7 @@ __all__ = [
     "robust_subsets",
     "PairMatrix",
     "maximal_robust_subsets",
+    "SubsetsReport",
     "analyze",
     "RobustnessReport",
 ]

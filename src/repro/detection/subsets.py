@@ -21,7 +21,9 @@ remaining candidates as robust, again without graph assembly.  Only the
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Iterable, Mapping, Sequence
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.btp.program import BTP
 from repro.btp.unfold import unfold
@@ -333,3 +335,57 @@ def format_subsets(subsets: Iterable[frozenset[str]], abbreviations: dict[str, s
         names = sorted(abbreviations.get(name, name) if abbreviations else name for name in subset)
         rendered.append("{" + ", ".join(names) + "}")
     return ", ".join(rendered)
+
+
+@dataclass(frozen=True)
+class SubsetsReport:
+    """The result of a maximal-robust-subsets query, as one report object.
+
+    The serializable counterpart of :func:`maximal_robust_subsets` /
+    :meth:`repro.analysis.Analyzer.maximal_robust_subsets`: the CLI's
+    ``repro subsets --json`` payload is exactly :meth:`to_dict`, and the
+    service's ``/v1/subsets`` endpoint returns the same shape (which is what
+    makes the two byte-identical).  ``abbreviations`` carry the Figure 6/7
+    short labels for :meth:`describe`; they are presentation-only and not
+    serialized.
+    """
+
+    workload: str
+    settings: AnalysisSettings
+    method: str
+    maximal: tuple[frozenset[str], ...]
+    abbreviations: Mapping[str, str] = field(default_factory=dict, compare=False)
+
+    def describe(self) -> str:
+        """The CLI's two-line text rendering."""
+        subsets = format_subsets(self.maximal, dict(self.abbreviations))
+        return (
+            f"workload: {self.workload}   setting: {self.settings.label}   "
+            f"method: {self.method}\n"
+            f"maximal robust subsets: {subsets or '(none)'}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "settings": self.settings.label,
+            "method": self.method,
+            "maximal_robust_subsets": [sorted(subset) for subset in self.maximal],
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SubsetsReport":
+        return cls(
+            workload=data["workload"],
+            settings=AnalysisSettings.from_label(data["settings"]),
+            method=data["method"],
+            maximal=tuple(
+                frozenset(names) for names in data["maximal_robust_subsets"]
+            ),
+        )
+
+    def __str__(self) -> str:
+        return self.describe()

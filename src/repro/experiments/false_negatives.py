@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.session import Analyzer
 from repro.engine.search import find_counterexample
 from repro.experiments.reporting import render_table
+from repro.service.core import AnalysisService
+from repro.service.grid import GridSpec
 from repro.summary.settings import ATTR_DEP_FK, AnalysisSettings
 from repro.workloads import smallbank, tpcc
 
@@ -114,6 +115,10 @@ def run_false_negatives(
     universe_size: int = 2,
     max_subset_size: int = 3,
     max_transactions: int = 4,
+    *,
+    jobs: int | None = None,
+    backend: str = "thread",
+    service: AnalysisService | None = None,
 ) -> FalseNegativeResult:
     """Run the SmallBank completeness check and the TPC-C Delivery probe.
 
@@ -121,10 +126,26 @@ def run_false_negatives(
     *minimal* rejected subsets of at most ``max_subset_size`` programs are
     searched; every larger rejected subset contains a confirmed one, which
     already proves it non-robust via Proposition 5.2 (contrapositive).
+
+    The Algorithm 2 verdict grid is one ``include_verdicts``
+    :class:`~repro.service.GridSpec` cell, so a shared ``service`` (e.g.
+    from ``repro experiments all``) answers it from warm block caches.
     """
     workload = smallbank()
+    service = service or AnalysisService(jobs=jobs, backend=backend)
     verdicts = []
-    grid = Analyzer(workload).robust_subsets(settings, "type-II")
+    cell = service.grid(
+        GridSpec(
+            workloads=(workload,),
+            settings=(settings,),
+            task="subsets",
+            include_verdicts=True,
+        )
+    ).cells[0]
+    grid = {
+        frozenset(names): robust
+        for names, robust in cell.value["robust_subsets"]
+    }
     confirmed_non_robust: set[frozenset[str]] = set()
     for subset, robust in sorted(grid.items(), key=lambda item: len(item[0])):
         if robust:
@@ -148,7 +169,7 @@ def run_false_negatives(
         verdicts.append(SubsetVerdict(subset, False, found))
 
     tpc = tpcc()
-    delivery_rejected = not Analyzer(tpc).is_robust(
+    delivery_rejected = not service.session(tpc).is_robust(
         settings, subset=["Delivery"], method="type-II"
     )
     return FalseNegativeResult(tuple(verdicts), delivery_rejected)

@@ -3,6 +3,12 @@
 For every benchmark and every analysis setting, all non-empty subsets of
 the transaction programs are tested; the maximal robust ones are reported
 using the paper's program abbreviations and compared against Figure 6.
+
+The grid itself is one :class:`~repro.service.GridSpec` sweep over an
+:class:`~repro.service.AnalysisService`: each benchmark's warm session is
+shared across the four settings rows, and a service shared with Figure 7
+(``repro experiments all`` passes one) reuses every pairwise edge block
+this figure computed.
 """
 
 from __future__ import annotations
@@ -10,9 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-from repro.analysis.session import Analyzer
 from repro.experiments import expected
 from repro.experiments.reporting import check_mark, render_table
+from repro.service.core import AnalysisService
+from repro.service.grid import GridSpec
 from repro.summary.settings import ALL_SETTINGS, AnalysisSettings
 from repro.workloads import auction, smallbank, tpcc
 from repro.workloads.base import Workload
@@ -68,18 +75,31 @@ def compute_grid(
     paper_grid: Mapping[str, Mapping[str, frozenset[frozenset[str]]]],
     title: str,
     settings_list: tuple[AnalysisSettings, ...] = ALL_SETTINGS,
+    service: AnalysisService | None = None,
 ) -> SubsetGridResult:
-    """The shared driver behind Figures 6 and 7.
+    """The shared driver behind Figures 6 and 7: one ``task="subsets"``
+    :class:`GridSpec` over the three benchmarks × the settings rows.
 
-    One :class:`Analyzer` session per benchmark: the unfolding is shared
-    across the four settings rows, and each row's subset enumeration needs
-    only one summary-graph construction.
+    Each benchmark's warm pooled session is shared across its settings
+    rows (one unfolding, per-settings block stores), and passing the same
+    ``service`` to both figures shares *all* cached blocks between them —
+    the type-I and type-II grids differ only in the cycle check.
     """
+    workloads = (smallbank(), tpcc(), auction())
+    service = service or AnalysisService()
+    result = service.grid(
+        GridSpec(
+            workloads=workloads, settings=settings_list, task="subsets",
+            method=method,
+        )
+    )
     cells = []
-    for workload in (smallbank(), tpcc(), auction()):
-        session = Analyzer(workload)
+    for workload in workloads:
         for settings in settings_list:
-            subsets = session.maximal_robust_subsets(settings, method)
+            value = result.cell(workload.name, settings).value
+            subsets = frozenset(
+                frozenset(names) for names in value["maximal_robust_subsets"]
+            )
             abbreviated = _abbreviated(workload, subsets)
             paper = paper_grid.get(workload.name, {}).get(settings.label)
             cells.append(
@@ -88,10 +108,11 @@ def compute_grid(
     return SubsetGridResult(title=title, method=method, cells=tuple(cells))
 
 
-def run_figure6() -> SubsetGridResult:
+def run_figure6(service: AnalysisService | None = None) -> SubsetGridResult:
     """Regenerate Figure 6."""
     return compute_grid(
         "type-II",
         expected.FIGURE6,
         "Figure 6 — robust subsets per Algorithm 2 (absence of type-II cycles)",
+        service=service,
     )

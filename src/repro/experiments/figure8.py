@@ -7,20 +7,25 @@ edges in the summary graph (whose closed form ``9n² + 8n`` Table 2 gives).
 Absolute times differ from the paper's machine, but the shape — polynomial
 growth, seconds-scale feasibility for realistic program counts, edges
 matching the closed form — is what the reproduction checks.
+
+Each point is a cold (``warm=False``, ``task="detect"``)
+:class:`~repro.service.GridSpec` cell: every repetition builds a fresh
+session and times exactly unfold → Algorithm 1 → the type-II cycle check
+(not the type-I baseline, which ``task="analyze"`` would add), and the
+session inherits the service's ``jobs``/``backend`` — the PR 3 process
+backend now reaches the scalability sweep.
 """
 
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.btp.unfold import unfold
-from repro.detection.typeii import is_robust_type2
 from repro.experiments import expected
 from repro.experiments.reporting import check_mark, render_table
-from repro.summary.construct import construct_summary_graph
+from repro.service.core import AnalysisService
+from repro.service.grid import GridSpec
 from repro.summary.settings import ATTR_DEP_FK, AnalysisSettings
 from repro.workloads import auction_n
 
@@ -90,35 +95,52 @@ def measure_point(
     n: int,
     repetitions: int = 10,
     settings: AnalysisSettings = ATTR_DEP_FK,
+    *,
+    jobs: int | None = None,
+    backend: str = "thread",
+    service: AnalysisService | None = None,
 ) -> Figure8Point:
-    """Time the full detection pipeline for Auction(n)."""
+    """Time the full detection pipeline for Auction(n).
+
+    A cold grid cell: each repetition runs unfold → Algorithm 1 → cycle
+    detection in a fresh session, with block construction parallelized per
+    ``jobs``/``backend`` (or the passed service's configuration).
+    """
     workload = auction_n(n)
-    samples = []
-    graph = None
-    robust = False
-    for _ in range(repetitions):
-        started = time.perf_counter()
-        ltps = unfold(workload.programs)
-        graph = construct_summary_graph(ltps, workload.schema, settings)
-        robust = is_robust_type2(graph)
-        samples.append(time.perf_counter() - started)
-    assert graph is not None
+    service = service or AnalysisService(jobs=jobs, backend=backend)
+    cell = service.grid(
+        GridSpec(
+            workloads=(workload,),
+            settings=(settings,),
+            task="detect",  # time unfold + Algorithm 1 + the type-II check only
+            repetitions=repetitions,
+            warm=False,
+        )
+    ).cells[0]
+    stats = cell.value["graph"]
     return Figure8Point(
         n=n,
         programs=len(workload.programs),
-        nodes=len(graph),
-        edges=graph.edge_count,
-        counterflow=graph.counterflow_count,
-        robust=robust,
-        mean_seconds=sum(samples) / len(samples),
-        ci95_seconds=_confidence_95(samples),
+        nodes=stats["nodes"],
+        edges=stats["edges"],
+        counterflow=stats["counterflow"],
+        robust=cell.value["robust"],
+        mean_seconds=cell.mean_seconds,
+        ci95_seconds=_confidence_95(cell.seconds),
     )
 
 
 def run_figure8(
     scales: Sequence[int] = (1, 2, 4, 8, 12, 16, 24, 32),
     repetitions: int = 10,
+    *,
+    jobs: int | None = None,
+    backend: str = "thread",
+    service: AnalysisService | None = None,
 ) -> Figure8Result:
     """Regenerate Figure 8 (both panels: time and edge counts)."""
-    points = tuple(measure_point(n, repetitions) for n in scales)
+    service = service or AnalysisService(jobs=jobs, backend=backend)
+    points = tuple(
+        measure_point(n, repetitions, service=service) for n in scales
+    )
     return Figure8Result(points=points, repetitions=repetitions)

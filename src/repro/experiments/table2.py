@@ -4,15 +4,20 @@ For each benchmark: number of relations, attributes per relation, number
 of transaction programs, number of unfolded LTP nodes, and the number of
 (counterflow) edges in the summary graph under the full
 'attr dep + FK' setting.
+
+The rows come from one ``task="analyze"`` :class:`~repro.service.GridSpec`
+over an :class:`~repro.service.AnalysisService`, so a service shared with
+the other experiment runners answers them from already-warm sessions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.session import Analyzer
 from repro.experiments import expected
 from repro.experiments.reporting import check_mark, render_table
+from repro.service.core import AnalysisService
+from repro.service.grid import GridSpec
 from repro.summary.settings import ATTR_DEP_FK
 from repro.workloads import auction, auction_n, smallbank, tpcc
 from repro.workloads.base import Workload
@@ -67,9 +72,15 @@ class Table2Result:
         )
 
 
-def characterize(workload: Workload) -> Table2Row:
-    """Compute one Table 2 row for a workload."""
-    graph = Analyzer(workload).summary_graph(ATTR_DEP_FK)
+def characterize(
+    workload: Workload, service: AnalysisService | None = None
+) -> Table2Row:
+    """Compute one Table 2 row for a workload (via the service's warm pool)."""
+    service = service or AnalysisService()
+    cell = service.grid(
+        GridSpec(workloads=(workload,), settings=(ATTR_DEP_FK,), task="detect")
+    ).cells[0]
+    stats = cell.value["graph"]
     attr_counts = sorted(len(relation.attributes) for relation in workload.schema)
     if attr_counts[0] == attr_counts[-1]:
         attrs = str(attr_counts[0])
@@ -80,15 +91,30 @@ def characterize(workload: Workload) -> Table2Row:
         relations=len(workload.schema.relations),
         attributes_per_relation=attrs,
         programs=len(workload.programs),
-        nodes=len(graph),
-        edges=graph.edge_count,
-        counterflow=graph.counterflow_count,
+        nodes=stats["nodes"],
+        edges=stats["edges"],
+        counterflow=stats["counterflow"],
     )
 
 
-def run_table2(auction_scale: int | None = 4) -> Table2Result:
-    """Regenerate Table 2 (optionally including one Auction(n) row)."""
-    rows = [characterize(smallbank()), characterize(tpcc()), characterize(auction())]
+def run_table2(
+    auction_scale: int | None = 4,
+    *,
+    jobs: int | None = None,
+    backend: str = "thread",
+    service: AnalysisService | None = None,
+) -> Table2Result:
+    """Regenerate Table 2 (optionally including one Auction(n) row).
+
+    ``jobs``/``backend`` configure block construction when no ``service``
+    is passed; a shared service reuses its pooled sessions.
+    """
+    service = service or AnalysisService(jobs=jobs, backend=backend)
+    rows = [
+        characterize(smallbank(), service),
+        characterize(tpcc(), service),
+        characterize(auction(), service),
+    ]
     if auction_scale is not None and auction_scale > 1:
-        rows.append(characterize(auction_n(auction_scale)))
+        rows.append(characterize(auction_n(auction_scale), service))
     return Table2Result(tuple(rows))

@@ -1,0 +1,55 @@
+"""The long-running analysis service (PR 4's public surface).
+
+Three layers, each usable on its own:
+
+* :class:`AnalysisService` — an LRU pool of warm, thread-safe
+  :class:`~repro.analysis.Analyzer` sessions keyed by workload fingerprint,
+  with typed entry points, a ``handle(kind, mapping)`` JSON dispatch, and
+  cache-directory warm start (:meth:`AnalysisService.warm_from_cache_dir`);
+* the typed request layer — :class:`AnalyzeRequest`,
+  :class:`SubsetsRequest`, :class:`GraphRequest`, :class:`GridRequest`,
+  :class:`BatchRequest`, validating JSON-shaped mappings without argparse
+  and answering with the exact CLI ``--json`` payloads (errors become the
+  :class:`ServiceError` envelope, carrying the CLI's exit-code-2 semantics);
+* the Grid API — :class:`GridSpec` sweeps (workload × settings × scale,
+  per-cell timing) that the :mod:`repro.experiments` modules ride, so the
+  paper's evaluation grids share warm block caches and the process backend;
+* the stdlib HTTP frontend — ``repro serve`` /
+  :func:`repro.service.http.serve`, exposing ``POST /v1/analyze`` /
+  ``/v1/subsets`` / ``/v1/graph`` / ``/v1/grid`` / ``/v1/batch`` and
+  ``GET /v1/stats`` over :class:`~http.server.ThreadingHTTPServer`.
+"""
+
+from repro.service.core import AnalysisService
+from repro.service.grid import TASKS, GridCell, GridResult, GridSpec, run_grid
+from repro.service.http import ServiceHTTPServer, make_server, serve
+from repro.service.requests import (
+    REQUEST_KINDS,
+    AnalyzeRequest,
+    BatchRequest,
+    GraphRequest,
+    GridRequest,
+    ServiceError,
+    SubsetsRequest,
+    parse_request,
+)
+
+__all__ = [
+    "AnalysisService",
+    "AnalyzeRequest",
+    "SubsetsRequest",
+    "GraphRequest",
+    "GridRequest",
+    "BatchRequest",
+    "ServiceError",
+    "REQUEST_KINDS",
+    "parse_request",
+    "GridSpec",
+    "GridCell",
+    "GridResult",
+    "run_grid",
+    "TASKS",
+    "ServiceHTTPServer",
+    "make_server",
+    "serve",
+]

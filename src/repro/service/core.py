@@ -1,0 +1,313 @@
+"""The warm-session analysis service.
+
+:class:`AnalysisService` owns an LRU pool of warm
+:class:`~repro.analysis.Analyzer` sessions keyed by *workload fingerprint*
+(:func:`repro.summary.fingerprint.workload_fingerprint`: schema content
+hash + per-program unfold hashes + ``max_loop_iterations``), so any two
+requests over the same analysis — whatever source string or object they
+arrived as — share one session and therefore one set of unfoldings and
+pairwise edge blocks.  Sessions are thread-safe (PR 4), so the pool can be
+hammered by the :class:`~repro.service.http.ServiceHTTPServer`'s
+concurrent request threads without double-computing a stage.
+
+The service is also the dispatch point of the typed request layer:
+:meth:`handle` takes ``(kind, mapping)``, validates via
+:func:`~repro.service.requests.parse_request` and returns the JSON payload
+— the single path behind both the CLI's ``--json`` output and every
+``/v1/*`` endpoint.  :meth:`warm_from_cache_dir` /
+:meth:`save_to_cache_dir` move the whole pool across processes through
+fingerprint-named :meth:`~repro.analysis.Analyzer.save_cache` artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.analysis.session import CACHE_FORMAT, Analyzer
+from repro.errors import ProgramError, ReproError
+from repro.schema import Schema
+from repro.service.grid import GridResult, GridSpec, run_grid
+from repro.service.requests import ServiceError, parse_request
+from repro.summary.pairwise import BACKENDS
+from repro.workloads.base import WorkloadSource
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.session import AnalysisMatrix
+    from repro.detection.api import RobustnessReport
+    from repro.detection.subsets import SubsetsReport
+    from repro.service.requests import (
+        AnalyzeRequest,
+        BatchRequest,
+        GraphRequest,
+        GridRequest,
+        SubsetsRequest,
+    )
+
+
+class AnalysisService:
+    """A long-running, many-request front over warm analyzer sessions.
+
+    ::
+
+        from repro.service import AnalysisService, AnalyzeRequest
+
+        service = AnalysisService(jobs=4, backend="process")
+        report = service.analyze(AnalyzeRequest(workload="auction(5)"))
+        payload = service.handle("analyze", {"workload": "auction(5)"})
+
+    ``capacity`` bounds the warm pool (least-recently-used sessions are
+    evicted); ``jobs``/``backend`` configure every pooled session's block
+    construction.  All entry points are thread-safe.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: int = 8,
+        jobs: int | None = None,
+        backend: str = "thread",
+        max_loop_iterations: int = 2,
+    ):
+        if capacity < 1:
+            raise ProgramError(f"service capacity must be >= 1, got {capacity}")
+        if backend not in BACKENDS:
+            raise ProgramError(
+                f"unknown block-construction backend {backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        self.capacity = capacity
+        self.jobs = jobs
+        self.backend = backend
+        self.max_loop_iterations = max_loop_iterations
+        self._pool: "OrderedDict[str, Analyzer]" = OrderedDict()
+        #: Built-in source string → fingerprint, so repeat requests for
+        #: ``"auction(5)"`` skip re-unfolding just to find their session.
+        #: File paths and raw text are never memoized (files change on disk).
+        self._fingerprint_memo: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._pool_hits = 0
+        self._pool_misses = 0
+
+    # -- session pool --------------------------------------------------------
+    def fresh_session(
+        self,
+        source: WorkloadSource,
+        *,
+        schema: Schema | None = None,
+        name: str | None = None,
+    ) -> Analyzer:
+        """A new, unpooled session with the service's configuration."""
+        return Analyzer(
+            source,
+            schema=schema,
+            name=name,
+            max_loop_iterations=self.max_loop_iterations,
+            jobs=self.jobs,
+            backend=self.backend,
+        )
+
+    @staticmethod
+    def _memo_key(source: WorkloadSource) -> str | None:
+        """Sources safe to memoize by string: built-in workload names only."""
+        if not isinstance(source, str) or "\n" in source or "/" in source:
+            return None
+        if Path(source).suffix or Path(source).is_file():
+            return None
+        return source
+
+    def session(
+        self,
+        source: WorkloadSource,
+        *,
+        schema: Schema | None = None,
+        name: str | None = None,
+    ) -> Analyzer:
+        """The pooled warm session for a workload, created on first use.
+
+        The pool key is the workload fingerprint, so ``"auction(5)"``, a
+        file describing the same programs, and an equal :class:`Workload`
+        object all land on the *same* warm session.  Fetching an existing
+        session marks it most-recently-used; inserting beyond ``capacity``
+        evicts the least-recently-used one.
+        """
+        memo_key = self._memo_key(source) if schema is None else None
+        with self._lock:
+            fingerprint = (
+                self._fingerprint_memo.get(memo_key) if memo_key else None
+            )
+            if fingerprint is not None:
+                pooled = self._pool.get(fingerprint)
+                if pooled is not None:
+                    self._pool.move_to_end(fingerprint)
+                    self._pool_hits += 1
+                    return pooled
+        # Resolve and fingerprint outside the lock: unfolding is cheap but
+        # not free, and concurrent requests for *different* workloads must
+        # not serialize on it.  Two racing threads may both build a
+        # candidate; the pool insert below keeps the first and the loser's
+        # candidate is simply dropped.
+        candidate = self.fresh_session(source, schema=schema, name=name)
+        fingerprint = candidate.fingerprint()
+        with self._lock:
+            if memo_key:
+                self._fingerprint_memo[memo_key] = fingerprint
+            pooled = self._pool.get(fingerprint)
+            if pooled is not None:
+                self._pool.move_to_end(fingerprint)
+                self._pool_hits += 1
+                return pooled
+            self._pool_misses += 1
+            self._install(fingerprint, candidate)
+            return candidate
+
+    def _install(self, fingerprint: str, session: Analyzer) -> None:
+        """Pool a session under its fingerprint (lock held by caller)."""
+        self._pool[fingerprint] = session
+        self._pool.move_to_end(fingerprint)
+        while len(self._pool) > self.capacity:
+            self._pool.popitem(last=False)
+
+    def sessions(self) -> dict[str, Analyzer]:
+        """A snapshot of the warm pool (fingerprint → session)."""
+        with self._lock:
+            return dict(self._pool)
+
+    def evict(self, fingerprint: str) -> bool:
+        """Drop one pooled session; ``True`` when it existed."""
+        with self._lock:
+            return self._pool.pop(fingerprint, None) is not None
+
+    # -- persistence ---------------------------------------------------------
+    def warm_from_cache_dir(self, directory: str | Path) -> list[str]:
+        """Seed the pool from fingerprint-named ``save_cache`` artifacts.
+
+        Scans ``directory`` for ``*.json`` session caches (as written by
+        :meth:`save_to_cache_dir` or ``repro cache save``), restores each
+        into a session with zero block recomputation, and pools it under
+        its recorded fingerprint.  Files that are not session caches, that
+        fail the staleness checks, or that do not record a resolvable
+        workload source are skipped.  Returns the workload names warmed.
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise ProgramError(f"cache directory not found: {directory}")
+        warmed: list[str] = []
+        for path in sorted(directory.glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(data, dict) or data.get("format") != CACHE_FORMAT:
+                continue
+            source = data.get("source")
+            if source is None:
+                continue
+            try:
+                session = self.fresh_session(source)
+                session.load_cache(path)
+            except (ReproError, ValueError, OSError):
+                continue
+            fingerprint = data.get("fingerprint") or session.fingerprint()
+            with self._lock:
+                if fingerprint not in self._pool:
+                    self._install(fingerprint, session)
+                    warmed.append(session.workload.name)
+                memo_key = self._memo_key(source)
+                if memo_key:
+                    self._fingerprint_memo[memo_key] = fingerprint
+        return warmed
+
+    def save_to_cache_dir(self, directory: str | Path) -> list[Path]:
+        """Persist every pooled session to ``directory/<fingerprint>.json``.
+
+        The inverse of :meth:`warm_from_cache_dir`: artifacts are keyed by
+        workload fingerprint, so re-saving a pool overwrites exactly the
+        artifacts of the workloads it still holds.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths: list[Path] = []
+        for fingerprint, session in self.sessions().items():
+            path = directory / f"{fingerprint}.json"
+            session.save_cache(path)
+            paths.append(path)
+        return paths
+
+    # -- typed entry points --------------------------------------------------
+    def analyze(self, request: "AnalyzeRequest") -> "RobustnessReport | AnalysisMatrix":
+        return request.execute(self)
+
+    def subsets(self, request: "SubsetsRequest") -> "SubsetsReport":
+        return request.execute(self)
+
+    def graph(self, request: "GraphRequest"):
+        return request.execute(self)
+
+    def grid(self, spec: "GridSpec | GridRequest") -> GridResult:
+        if not isinstance(spec, GridSpec):
+            spec = spec.spec()
+        return run_grid(spec, self)
+
+    def batch(self, request: "BatchRequest") -> dict[str, Any]:
+        return request.payload(self)
+
+    # -- dispatch ------------------------------------------------------------
+    def handle(self, kind: str, data: Mapping[str, Any] | Any) -> dict[str, Any]:
+        """Validate and execute one request mapping; returns the JSON payload.
+
+        The single dispatch path of the service: CLI ``--json`` commands and
+        every ``POST /v1/<kind>`` route call this, so their outputs cannot
+        diverge.  Raises :class:`ServiceError` for malformed requests *and*
+        for analysis failures (unknown workloads, bad files …), carrying the
+        CLI's exit-code-2 semantics either way.
+        """
+        request = parse_request(kind, data)
+        with self._lock:
+            self._requests += 1
+        try:
+            return request.payload(self)
+        except ServiceError:
+            raise
+        except (ReproError, ValueError, OSError) as error:
+            raise ServiceError(str(error), kind="analysis_error") from error
+
+    # -- diagnostics ---------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Pool and per-session cache statistics (the ``/v1/stats`` body)."""
+        from repro import __version__  # deferred: repro/__init__ imports us
+
+        with self._lock:
+            pool = list(self._pool.items())
+            requests = self._requests
+            hits = self._pool_hits
+            misses = self._pool_misses
+        return {
+            "version": __version__,
+            "capacity": self.capacity,
+            "jobs": self.jobs,
+            "backend": self.backend,
+            "max_loop_iterations": self.max_loop_iterations,
+            "requests": requests,
+            "pool_hits": hits,
+            "pool_misses": misses,
+            "sessions": [
+                {
+                    "fingerprint": fingerprint,
+                    "workload": session.workload.name,
+                    "programs": len(session.program_names),
+                    "cache_info": session.cache_info(),
+                }
+                for fingerprint, session in pool
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalysisService(sessions={len(self._pool)}/{self.capacity}, "
+            f"jobs={self.jobs}, backend={self.backend!r})"
+        )

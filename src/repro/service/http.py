@@ -1,0 +1,173 @@
+"""The stdlib HTTP frontend: ``repro serve``.
+
+A :class:`ThreadingHTTPServer` over one shared
+:class:`~repro.service.AnalysisService` — no third-party web framework,
+just ``http.server``.  Routes:
+
+* ``POST /v1/analyze`` / ``/v1/subsets`` / ``/v1/graph`` / ``/v1/grid`` /
+  ``/v1/batch`` — a JSON request body dispatched through
+  :meth:`AnalysisService.handle`; the response body is byte-identical to
+  the corresponding CLI ``--json`` output (same dispatch, same
+  serialization, same trailing newline);
+* ``GET /v1/stats`` — pool and per-session ``cache_info()`` counters.
+
+Malformed bodies, unknown routes and analysis failures answer with the
+:class:`~repro.service.requests.ServiceError` envelope (HTTP 400/404) —
+never a traceback; unexpected internal errors answer a generic 500
+envelope.  Request threads hammer warm sessions concurrently, which the
+session-level locking (PR 4) makes safe.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.service.core import AnalysisService
+from repro.service.requests import REQUEST_KINDS, ServiceError
+
+#: URL prefix of every route.
+API_PREFIX = "/v1/"
+
+
+def _json_bytes(payload: dict[str, Any]) -> bytes:
+    """The CLI's ``--json`` bytes: 2-space indent plus ``print``'s newline."""
+    return (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`AnalysisService`."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: AnalysisService,
+        *,
+        quiet: bool = False,
+    ):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _ServiceRequestHandler)
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer  # narrowed for type checkers
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_error(self, error: ServiceError) -> None:
+        self._respond(error.status, error.envelope)
+
+    def _request_body(self) -> Any:
+        length = self.headers.get("Content-Length")
+        if length is None:
+            raise ServiceError("request body required (send Content-Length)")
+        try:
+            raw = self.rfile.read(int(length))
+        except ValueError:
+            raise ServiceError(f"invalid Content-Length {length!r}") from None
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from None
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if not self.path.startswith(API_PREFIX):
+                raise ServiceError(
+                    f"unknown path {self.path!r}", kind="not_found", status=404
+                )
+            kind = self.path[len(API_PREFIX):]
+            if kind not in REQUEST_KINDS:
+                raise ServiceError(
+                    f"unknown path {self.path!r}; POST one of "
+                    f"{sorted(API_PREFIX + kind for kind in REQUEST_KINDS)}",
+                    kind="not_found",
+                    status=404,
+                )
+            payload = self.server.service.handle(kind, self._request_body())
+        except ServiceError as error:
+            self._respond_error(error)
+        except Exception as error:  # pragma: no cover - defensive
+            self._respond_error(
+                ServiceError(
+                    f"internal error: {type(error).__name__}: {error}",
+                    kind="internal_error",
+                    status=500,
+                )
+            )
+        else:
+            self._respond(200, payload)
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        try:
+            if self.path == API_PREFIX + "stats":
+                self._respond(200, self.server.service.stats())
+            else:
+                raise ServiceError(
+                    f"unknown path {self.path!r}; GET {API_PREFIX}stats",
+                    kind="not_found",
+                    status=404,
+                )
+        except ServiceError as error:
+            self._respond_error(error)
+        except Exception as error:  # pragma: no cover - defensive
+            self._respond_error(
+                ServiceError(
+                    f"internal error: {type(error).__name__}: {error}",
+                    kind="internal_error",
+                    status=500,
+                )
+            )
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+def make_server(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    quiet: bool = False,
+) -> ServiceHTTPServer:
+    """Bind (but do not start) the service's HTTP server.
+
+    ``port=0`` binds an ephemeral port (see ``server.server_address``) —
+    what the tests and the benchmark use.  Call ``serve_forever()`` on the
+    result, or hand it to a thread.
+    """
+    return ServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def run_server(server: ServiceHTTPServer) -> None:
+    """Serve a pre-bound server until interrupted, then close it — the one
+    shutdown path shared by :func:`serve` and the ``repro serve`` command
+    (which binds first so it can print the actual port)."""
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+
+
+def serve(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    quiet: bool = False,
+) -> None:
+    """Run the HTTP frontend until interrupted (the ``repro serve`` loop)."""
+    run_server(make_server(service, host, port, quiet=quiet))

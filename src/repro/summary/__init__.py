@@ -9,6 +9,11 @@ foreign-key conditions ``ncDepConds`` and ``cDepConds``.
 """
 
 from repro.summary.construct import build_summary_graph, construct_summary_graph
+from repro.summary.fingerprint import (
+    program_fingerprint,
+    schema_fingerprint,
+    workload_fingerprint,
+)
 from repro.summary.graph import SummaryEdge, SummaryGraph, SummaryStats
 from repro.summary.pairwise import (
     EdgeBlockStore,
@@ -58,4 +63,7 @@ __all__ = [
     "c_dep_conds",
     "nc_dep_conds_masks",
     "c_dep_conds_masks",
+    "schema_fingerprint",
+    "program_fingerprint",
+    "workload_fingerprint",
 ]

@@ -1,0 +1,565 @@
+"""Tests for the warm-session analysis service (PR 4).
+
+Covers the workload fingerprint, the LRU session pool, the typed request
+layer and its :class:`ServiceError` envelopes, the Grid API, cache-directory
+warm start, thread safety of one hammered session, and — through a live
+:class:`ThreadingHTTPServer` — byte-identical parity between the CLI's
+``--json`` output and the ``/v1/*`` HTTP responses.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.analysis.session import Analyzer
+from repro.cli import main as cli_main
+from repro.detection.subsets import SubsetsReport
+from repro.errors import ProgramError, ReproError
+from repro.service import (
+    AnalysisService,
+    AnalyzeRequest,
+    GridSpec,
+    ServiceError,
+    SubsetsRequest,
+    make_server,
+    parse_request,
+)
+from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK
+from repro.workloads import auction, smallbank, tpcc
+
+BUILTINS = ("smallbank", "tpcc", "auction")
+
+
+# ---------------------------------------------------------------------------
+# workload fingerprints
+# ---------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_same_workload_same_fingerprint(self):
+        assert Analyzer("smallbank").fingerprint() == Analyzer(smallbank()).fingerprint()
+
+    def test_different_workloads_differ(self):
+        prints = {Analyzer(name).fingerprint() for name in BUILTINS}
+        prints.add(Analyzer("auction(2)").fingerprint())
+        assert len(prints) == 4
+
+    def test_editing_a_program_changes_it(self):
+        session = Analyzer("auction(2)")
+        before = session.fingerprint()
+        session.remove_program(session.program_names[-1])
+        assert session.fingerprint() != before
+
+    def test_max_loop_iterations_matters(self):
+        assert (
+            Analyzer("auction", max_loop_iterations=2).fingerprint()
+            != Analyzer("auction", max_loop_iterations=3).fingerprint()
+        )
+
+
+# ---------------------------------------------------------------------------
+# the session pool
+# ---------------------------------------------------------------------------
+
+class TestSessionPool:
+    def test_same_source_shares_one_session(self):
+        service = AnalysisService()
+        first = service.session("smallbank")
+        assert service.session("smallbank") is first
+        # ... whatever spelling the workload arrives as:
+        assert service.session(smallbank()) is first
+
+    def test_lru_eviction(self):
+        service = AnalysisService(capacity=2)
+        first = service.session("smallbank")
+        service.session("tpcc")
+        service.session("auction")  # evicts smallbank (least recently used)
+        pooled = {s.workload.name for s in service.sessions().values()}
+        assert pooled == {"TPC-C", "Auction"}
+        assert service.session("smallbank") is not first
+
+    def test_fetch_refreshes_recency(self):
+        service = AnalysisService(capacity=2)
+        service.session("smallbank")
+        service.session("tpcc")
+        service.session("smallbank")  # most recently used again
+        service.session("auction")  # evicts tpcc, not smallbank
+        pooled = {s.workload.name for s in service.sessions().values()}
+        assert pooled == {"SmallBank", "Auction"}
+
+    def test_fresh_session_is_unpooled(self):
+        service = AnalysisService(jobs=2, backend="thread")
+        session = service.fresh_session("auction")
+        assert session.jobs == 2
+        assert service.sessions() == {}
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ProgramError):
+            AnalysisService(capacity=0)
+        with pytest.raises(ProgramError):
+            AnalysisService(backend="quantum")
+
+    def test_stats_surface_cache_info(self):
+        service = AnalysisService()
+        service.handle("analyze", {"workload": "auction"})
+        stats = service.stats()
+        assert stats["requests"] == 1
+        (entry,) = stats["sessions"]
+        assert entry["workload"] == "Auction"
+        assert entry["cache_info"]["block_computations"] > 0
+        json.dumps(stats)  # must be JSON-serializable as-is
+
+
+# ---------------------------------------------------------------------------
+# the typed request layer
+# ---------------------------------------------------------------------------
+
+class TestRequestValidation:
+    def test_unknown_kind_is_404(self):
+        with pytest.raises(ServiceError) as excinfo:
+            parse_request("frobnicate", {})
+        assert excinfo.value.status == 404
+        assert excinfo.value.envelope["error"]["exit_code"] == 2
+
+    @pytest.mark.parametrize(
+        "kind, body",
+        [
+            ("analyze", {}),  # missing workload
+            ("analyze", {"workload": 7}),
+            ("analyze", {"workload": "auction", "junk": True}),
+            ("analyze", {"workload": "auction", "subset": "Bal"}),
+            ("analyze", {"workload": "auction", "all_settings": "yes"}),
+            ("subsets", {"workload": "auction", "method": "type-III"}),
+            ("subsets", {"workload": "auction", "setting": "bogus setting"}),
+            ("graph", {"workload": "auction", "format": "dot"}),
+            ("grid", {}),  # missing workloads
+            ("grid", {"workloads": ["auction"], "task": "dance"}),
+            ("grid", {"workloads": ["auction"], "repetitions": 0}),
+            ("batch", {"requests": []}),
+            ("batch", {"requests": ["not a mapping"]}),
+        ],
+    )
+    def test_malformed_requests_get_the_envelope(self, kind, body):
+        service = AnalysisService()
+        with pytest.raises(ServiceError) as excinfo:
+            service.handle(kind, body)
+        envelope = excinfo.value.envelope["error"]
+        assert envelope["exit_code"] == 2
+        assert envelope["type"] == "invalid_request"
+
+    def test_analysis_failures_are_enveloped_too(self):
+        service = AnalysisService()
+        with pytest.raises(ServiceError) as excinfo:
+            service.handle("analyze", {"workload": "not-a-workload"})
+        assert excinfo.value.envelope["error"]["type"] == "analysis_error"
+
+    def test_service_error_is_a_repro_error(self):
+        # The CLI's exit-code-2 path catches ReproError; the envelope rides it.
+        assert issubclass(ServiceError, ReproError)
+
+    def test_handle_matches_library_results(self):
+        service = AnalysisService()
+        payload = service.handle(
+            "analyze", {"workload": "smallbank", "setting": "attr dep"}
+        )
+        expected = Analyzer("smallbank").analyze(
+            ALL_SETTINGS[1]  # 'attr dep'
+        ).to_dict()
+        assert payload == expected
+
+    def test_subsets_report_round_trips(self):
+        service = AnalysisService()
+        report = service.subsets(SubsetsRequest(workload="smallbank"))
+        again = SubsetsReport.from_dict(report.to_dict())
+        assert again.to_dict() == report.to_dict()
+        assert "maximal robust subsets:" in report.describe()
+
+    def test_batch_mixes_results_and_errors(self):
+        service = AnalysisService()
+        payload = service.handle(
+            "batch",
+            {
+                "requests": [
+                    {"kind": "analyze", "workload": "auction"},
+                    {"kind": "analyze", "workload": "missing-workload"},
+                    {"kind": "subsets", "workload": "auction"},
+                ]
+            },
+        )
+        first, second, third = payload["results"]
+        assert first["workload"] == "Auction"
+        assert second["error"]["exit_code"] == 2
+        assert third["maximal_robust_subsets"] == [["FindBids", "PlaceBid"]]
+
+    def test_batch_items_fail_independently(self):
+        """One bad item must not reject its siblings (per-item envelopes)."""
+        service = AnalysisService()
+        payload = service.handle(
+            "batch",
+            {
+                "requests": [
+                    {"kind": "batch", "requests": []},  # nesting refused
+                    {"kind": "frobnicate"},  # unknown kind
+                    {"kind": "analyze", "workload": "auction", "junk": 1},
+                    {"kind": "analyze", "workload": "auction"},
+                ]
+            },
+        )
+        nested, unknown, malformed, good = payload["results"]
+        assert "nested" in nested["error"]["message"]
+        assert unknown["error"]["type"] == "not_found"
+        assert malformed["error"]["type"] == "invalid_request"
+        assert good["workload"] == "Auction"
+
+    def test_all_settings_matrix(self):
+        service = AnalysisService()
+        payload = service.handle(
+            "analyze", {"workload": "auction", "all_settings": True}
+        )
+        assert [r["settings"] for r in payload["reports"]] == [
+            s.label for s in ALL_SETTINGS
+        ]
+
+
+# ---------------------------------------------------------------------------
+# the Grid API
+# ---------------------------------------------------------------------------
+
+class TestGrid:
+    def test_cells_cover_the_cross_product(self):
+        service = AnalysisService()
+        result = service.grid(GridSpec(workloads=("smallbank", "auction")))
+        assert len(result.cells) == 2 * len(ALL_SETTINGS)
+        assert result.cell("Auction", ATTR_DEP_FK).value["robust"] is True
+        json.dumps(result.to_dict())
+
+    def test_warm_cells_share_the_pool(self):
+        service = AnalysisService()
+        service.grid(GridSpec(workloads=("auction",), settings=(ATTR_DEP_FK,)))
+        (session,) = service.sessions().values()
+        before = session.cache_info()["block_computations"]
+        service.grid(GridSpec(workloads=("auction",), settings=(ATTR_DEP_FK,)))
+        assert session.cache_info()["block_computations"] == before
+
+    def test_cold_cells_do_not_touch_the_pool(self):
+        service = AnalysisService()
+        result = service.grid(
+            GridSpec(
+                workloads=("auction",),
+                settings=(ATTR_DEP_FK,),
+                warm=False,
+                repetitions=3,
+            )
+        )
+        assert service.sessions() == {}
+        assert len(result.cells[0].seconds) == 3
+
+    def test_verdict_grid_matches_the_session_api(self):
+        service = AnalysisService()
+        cell = service.grid(
+            GridSpec(
+                workloads=("smallbank",),
+                settings=(ATTR_DEP_FK,),
+                task="subsets",
+                include_verdicts=True,
+            )
+        ).cells[0]
+        grid = {
+            frozenset(names): robust
+            for names, robust in cell.value["robust_subsets"]
+        }
+        assert grid == Analyzer("smallbank").robust_subsets(ATTR_DEP_FK)
+
+    def test_detect_task_matches_one_method(self):
+        service = AnalysisService()
+        cell = service.grid(
+            GridSpec(
+                workloads=("auction",),
+                settings=(ATTR_DEP_FK,),
+                task="detect",
+                method="type-I",
+            )
+        ).cells[0]
+        report = Analyzer("auction").analyze(ATTR_DEP_FK)
+        assert cell.value["robust"] is report.type1_robust
+        assert cell.value["graph"] == report.stats.to_dict()
+
+    def test_subsets_cells_share_the_subsets_payload_shape(self):
+        service = AnalysisService()
+        cell = service.grid(
+            GridSpec(
+                workloads=("auction",), settings=(ATTR_DEP_FK,), task="subsets"
+            )
+        ).cells[0]
+        assert cell.value == service.handle(
+            "subsets", {"workload": "auction", "setting": ATTR_DEP_FK.label}
+        )
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ProgramError):
+            GridSpec(workloads=())
+        with pytest.raises(ProgramError):
+            GridSpec(workloads=("auction",), task="unknown")
+        with pytest.raises(ProgramError):
+            GridSpec(workloads=("auction",), repetitions=0)
+
+
+# ---------------------------------------------------------------------------
+# cache-directory warm start
+# ---------------------------------------------------------------------------
+
+class TestWarmStart:
+    def test_artifacts_are_fingerprint_named(self, tmp_path):
+        service = AnalysisService()
+        session = service.session("smallbank")
+        session.analyze()
+        (path,) = service.save_to_cache_dir(tmp_path)
+        assert path.stem == session.fingerprint()
+
+    def test_warm_start_recomputes_nothing(self, tmp_path):
+        warm = AnalysisService()
+        warm.session("smallbank").analyze()
+        warm.session("auction").analyze()
+        warm.save_to_cache_dir(tmp_path)
+
+        restored = AnalysisService()
+        warmed = restored.warm_from_cache_dir(tmp_path)
+        assert sorted(warmed) == ["Auction", "SmallBank"]
+        for name in ("smallbank", "auction"):
+            payload = restored.handle("analyze", {"workload": name})
+            assert payload == warm.handle("analyze", {"workload": name})
+        for session in restored.sessions().values():
+            info = session.cache_info()
+            assert info["block_computations"] == 0
+            assert info["blocks_loaded"] > 0
+
+    def test_subset_cache_still_loads_after_workload_grows(self, tmp_path):
+        """A v2 cache covering a strict subset of the workload's programs is
+        valid (the whole-set fingerprint differs, but every cached block
+        still is exact) — the per-program fallback must accept it."""
+        full = smallbank()
+        partial = Analyzer(
+            [p for p in full.programs if p.name != "WriteCheck"],
+            schema=full.schema,
+        )
+        partial.analyze()
+        path = tmp_path / "partial.json"
+        partial.save_cache(path)
+
+        grown = Analyzer(full.programs, schema=full.schema, name="SmallBank")
+        grown.load_cache(path)
+        info = grown.cache_info()
+        assert info["blocks_loaded"] > 0
+        assert info["block_computations"] == 0
+        # Analysis over the full set computes only the WriteCheck blocks.
+        assert grown.analyze().to_dict() == Analyzer(full).analyze().to_dict()
+
+    def test_duplicate_artifacts_warm_once(self, tmp_path):
+        service = AnalysisService()
+        service.session("auction").analyze()
+        (path,) = service.save_to_cache_dir(tmp_path)
+        (tmp_path / "copy.json").write_text(path.read_text())
+        restored = AnalysisService()
+        assert restored.warm_from_cache_dir(tmp_path) == ["Auction"]
+        assert len(restored.sessions()) == 1
+
+    def test_junk_files_are_skipped(self, tmp_path):
+        (tmp_path / "junk.json").write_text("not json at all")
+        (tmp_path / "other.json").write_text('{"format": "something-else"}')
+        service = AnalysisService()
+        assert service.warm_from_cache_dir(tmp_path) == []
+
+    def test_missing_directory_errors(self, tmp_path):
+        with pytest.raises(ProgramError):
+            AnalysisService().warm_from_cache_dir(tmp_path / "nope")
+
+
+# ---------------------------------------------------------------------------
+# thread safety of one warm session
+# ---------------------------------------------------------------------------
+
+class TestConcurrency:
+    def test_hammered_session_never_double_computes(self):
+        service = AnalysisService()
+        session = service.session("smallbank")
+
+        def attack(index: int):
+            settings = ALL_SETTINGS[index % len(ALL_SETTINGS)]
+            report = session.analyze(settings)
+            session.maximal_robust_subsets(settings)
+            return settings.label, report.to_dict()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(attack, range(24)))
+
+        by_label: dict[str, dict] = {}
+        for label, payload in results:
+            assert by_label.setdefault(label, payload) == payload
+        info = session.cache_info()
+        # Every pairwise block was computed exactly once: the computation
+        # counter equals the number of cached blocks (double computation
+        # would make it larger).
+        assert info["block_computations"] == info["edge_blocks"]
+        assert info["reports"] == len(ALL_SETTINGS)
+
+    def test_concurrent_service_requests(self):
+        service = AnalysisService()
+
+        def request(index: int):
+            name = BUILTINS[index % len(BUILTINS)]
+            return name, service.handle("analyze", {"workload": name})
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(request, range(12)))
+        by_name: dict[str, dict] = {}
+        for name, payload in results:
+            assert by_name.setdefault(name, payload) == payload
+        assert len(service.sessions()) == len(BUILTINS)
+
+
+# ---------------------------------------------------------------------------
+# the HTTP frontend: CLI parity, errors, stats
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def http_server():
+    service = AnalysisService(capacity=8)
+    server = make_server(service, port=0, quiet=True)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+
+
+def _post(server, path: str, body) -> tuple[int, bytes]:
+    port = server.server_address[1]
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode() if not isinstance(body, bytes) else body,
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _get(server, path: str) -> tuple[int, bytes]:
+    port = server.server_address[1]
+    try:
+        with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}") as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+class TestHTTP:
+    @pytest.mark.parametrize("workload", BUILTINS)
+    @pytest.mark.parametrize("settings", ALL_SETTINGS, ids=lambda s: s.label)
+    def test_analyze_is_byte_identical_to_the_cli(
+        self, http_server, capsys, workload, settings
+    ):
+        assert (
+            cli_main(["analyze", workload, "--setting", settings.label, "--json"])
+            == 0
+        )
+        cli_bytes = capsys.readouterr().out.encode()
+        status, body = _post(
+            http_server,
+            "/v1/analyze",
+            {"workload": workload, "setting": settings.label},
+        )
+        assert status == 200
+        assert body == cli_bytes
+
+    @pytest.mark.parametrize("workload", BUILTINS)
+    @pytest.mark.parametrize("settings", ALL_SETTINGS, ids=lambda s: s.label)
+    def test_subsets_is_byte_identical_to_the_cli(
+        self, http_server, capsys, workload, settings
+    ):
+        assert (
+            cli_main(["subsets", workload, "--setting", settings.label, "--json"])
+            == 0
+        )
+        cli_bytes = capsys.readouterr().out.encode()
+        status, body = _post(
+            http_server,
+            "/v1/subsets",
+            {"workload": workload, "setting": settings.label},
+        )
+        assert status == 200
+        assert body == cli_bytes
+
+    def test_graph_is_byte_identical_to_the_cli(self, http_server, capsys):
+        assert cli_main(["graph", "auction", "--json"]) == 0
+        cli_bytes = capsys.readouterr().out.encode()
+        status, body = _post(http_server, "/v1/graph", {"workload": "auction"})
+        assert status == 200
+        assert body == cli_bytes
+
+    def test_matrix_round_trip(self, http_server, capsys):
+        assert cli_main(["analyze", "auction", "--all-settings", "--json"]) == 0
+        cli_bytes = capsys.readouterr().out.encode()
+        status, body = _post(
+            http_server, "/v1/analyze", {"workload": "auction", "all_settings": True}
+        )
+        assert status == 200
+        assert body == cli_bytes
+
+    def test_malformed_body_gets_the_envelope(self, http_server):
+        status, body = _post(http_server, "/v1/analyze", b"this is not json")
+        assert status == 400
+        envelope = json.loads(body)["error"]
+        assert envelope["type"] == "invalid_request"
+        assert envelope["exit_code"] == 2
+
+    def test_malformed_request_gets_the_envelope(self, http_server):
+        status, body = _post(
+            http_server, "/v1/analyze", {"workload": "auction", "junk": 1}
+        )
+        assert status == 400
+        assert json.loads(body)["error"]["type"] == "invalid_request"
+
+    def test_unknown_route_is_404(self, http_server):
+        status, body = _post(http_server, "/v1/frobnicate", {})
+        assert status == 404
+        assert json.loads(body)["error"]["type"] == "not_found"
+        status, body = _get(http_server, "/v1/nope")
+        assert status == 404
+
+    def test_grid_endpoint(self, http_server):
+        status, body = _post(
+            http_server,
+            "/v1/grid",
+            {
+                "workloads": ["smallbank", "auction"],
+                "settings": ["attr dep + FK"],
+                "task": "subsets",
+            },
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert [cell["workload"] for cell in payload["cells"]] == [
+            "SmallBank",
+            "Auction",
+        ]
+        for cell in payload["cells"]:
+            assert cell["seconds"] and cell["mean_seconds"] >= 0
+
+    def test_stats_endpoint(self, http_server):
+        status, body = _get(http_server, "/v1/stats")
+        assert status == 200
+        stats = json.loads(body)
+        assert stats["capacity"] == 8
+        assert stats["requests"] > 0
+        for entry in stats["sessions"]:
+            assert set(entry) == {"fingerprint", "workload", "programs", "cache_info"}
