@@ -51,11 +51,22 @@ from repro.detection import (
     CycleWitness,
     RobustnessReport,
     SubsetsReport,
+    WitnessAnchor,
     analyze,
     is_robust_type1,
     is_robust_type2,
     maximal_robust_subsets,
     robust_subsets,
+)
+from repro.repair import (
+    AddProtectingFK,
+    PromotePredicateToKey,
+    PromoteReadToUpdate,
+    Repair,
+    RepairReport,
+    RepairSet,
+    SplitProgram,
+    apply_repairs,
 )
 from repro.errors import (
     InstantiationError,
@@ -67,6 +78,7 @@ from repro.errors import (
 )
 from repro.schema import ForeignKey, Relation, Schema
 from repro.service import (
+    AdviseRequest,
     AnalysisService,
     AnalyzeRequest,
     BatchRequest,
@@ -95,7 +107,7 @@ from repro.summary import (
 )
 from repro.workloads import Workload
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -107,10 +119,20 @@ __all__ = [
     "AnalyzeRequest",
     "SubsetsRequest",
     "GraphRequest",
+    "AdviseRequest",
     "GridRequest",
     "BatchRequest",
     "GridSpec",
     "ServiceError",
+    # the repair advisor
+    "RepairReport",
+    "RepairSet",
+    "Repair",
+    "PromotePredicateToKey",
+    "PromoteReadToUpdate",
+    "AddProtectingFK",
+    "SplitProgram",
+    "apply_repairs",
     # schema
     "Schema",
     "Relation",
@@ -151,6 +173,7 @@ __all__ = [
     "robust_subsets",
     "maximal_robust_subsets",
     "CycleWitness",
+    "WitnessAnchor",
     # workloads
     "workloads",
     "Workload",

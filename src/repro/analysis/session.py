@@ -28,7 +28,6 @@ settings of Section 7.2) reuse the unfolding across rows.
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import threading
 from dataclasses import dataclass
@@ -375,12 +374,16 @@ class Analyzer:
         return maximal_subsets(self.robust_subsets(settings, method))
 
     # -- incremental re-analysis --------------------------------------------
-    def _set_programs(self, programs: Sequence[BTP]) -> None:
-        """Swap in a new program tuple; ``Workload.__post_init__`` validates
-        the result before ``self.workload`` is reassigned, so a bad edit
-        raises and leaves the session untouched."""
+    def _set_programs(
+        self, programs: Sequence[BTP], validate: Sequence[BTP] = ()
+    ) -> None:
+        """Swap in a new program tuple, validating only the changed
+        programs (``validate``) against the schema — unchanged programs
+        were validated when the workload was built.  A bad edit raises
+        before ``self.workload`` is reassigned, leaving the session
+        untouched."""
         with self._lock:
-            self.workload = dataclasses.replace(self.workload, programs=tuple(programs))
+            self.workload = self.workload.with_programs(programs, validate=validate)
             # The original source string no longer describes this workload, so a
             # cache saved now must not advertise it to `repro cache load`.
             self._source_hint = None
@@ -417,7 +420,9 @@ class Analyzer:
                     f"workload {self.workload.name!r}: program {program.name!r} already "
                     "exists; use replace_program"
                 )
-            self._set_programs(self.workload.programs + (program,))
+            self._set_programs(
+                self.workload.programs + (program,), validate=(program,)
+            )
 
     def remove_program(self, name: str) -> None:
         """Drop a program from the workload, evicting only its own caches."""
@@ -453,9 +458,70 @@ class Analyzer:
                 [
                     program if existing.name == replaced else existing
                     for existing in self.workload.programs
-                ]
+                ],
+                validate=(program,),
             )
             self._evict_program(replaced)
+
+    # -- forking ------------------------------------------------------------
+    def fork(self) -> "Analyzer":
+        """An independent session over the same workload, seeded with this
+        session's warm caches.
+
+        The fork shares no mutable state: unfoldings, summary graphs and
+        reports are copied by reference (they are immutable), and every
+        cached pairwise edge block is seeded into fresh per-settings stores
+        via :meth:`EdgeBlockStore.load_block` — so the fork's
+        :meth:`cache_info` counts them under ``blocks_loaded`` and only
+        blocks invalidated by *its own* edits show up as computations.
+        This is what :meth:`advise` verifies repair candidates on: apply an
+        edit set to a fork, recompute the ``≤ 2n − 1`` touched blocks, and
+        throw the fork away.
+        """
+        with self._lock:
+            other = Analyzer(
+                self.workload,
+                max_loop_iterations=self.max_loop_iterations,
+                jobs=self.jobs,
+                backend=self.backend,
+            )
+            other._source_hint = self._source_hint
+            other._ltps_by_program = dict(self._ltps_by_program)
+            for settings, store in self._stores.items():
+                other.edge_block_store(settings).seed_from(store)
+            other._graphs = dict(self._graphs)
+            other._reports = dict(self._reports)
+            return other
+
+    # -- repair advice ------------------------------------------------------
+    def advise(
+        self,
+        settings: AnalysisSettings = AnalysisSettings(),
+        *,
+        method: str = "type-II",
+        max_edits: int = 3,
+        max_states: int = 400,
+        max_results: int = 4,
+    ):
+        """Search for minimal edit sets making this workload robust.
+
+        Returns a :class:`repro.repair.RepairReport`.  The search is
+        witness-guided: candidate edits are derived from the cycle
+        witness's statement anchors, every candidate edit set is verified
+        on a :meth:`fork` of this session (only blocks touching edited
+        programs are recomputed), and the edit lattice is explored
+        breadth-first on edit count, so reported repairs are minimal.
+        """
+        from repro.repair.advisor import RepairAdvisor  # deferred: import cycle
+
+        return RepairAdvisor(
+            self,
+            settings,
+            method=method,
+            max_edits=max_edits,
+            max_states=max_states,
+            max_results=max_results,
+        ).run()
 
     # -- persistence --------------------------------------------------------
     def save_cache(self, path: str | Path) -> None:

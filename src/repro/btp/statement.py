@@ -75,6 +75,20 @@ class StatementType(enum.Enum):
         )
 
 
+#: Types whose statements instantiate to an R- or PR-operation first — the
+#: trigger set of Theorem 6.4 / Algorithm 2 (re-exported by
+#: :mod:`repro.detection.typeii`; defined here so the edge-block layer can
+#: use it without importing the detection package).
+READ_TRIGGER_TYPES = frozenset(
+    {
+        StatementType.KEY_SELECT,
+        StatementType.PRED_SELECT,
+        StatementType.PRED_UPDATE,
+        StatementType.PRED_DELETE,
+    }
+)
+
+
 def _as_attr_set(value: Iterable[str] | None) -> AttrSet:
     if value is None:
         return None

@@ -8,20 +8,32 @@ Commands:
   its programs; ``--all-settings`` reports all four Section 7.2 settings;
 * ``subsets <workload> [--setting LABEL] [--method type-II|type-I]
   [--json]`` — maximal robust subsets;
-* ``graph <workload> [--setting LABEL] [--format dot|text] [--json]`` —
-  summary graph rendering;
+* ``graph <workload> [--setting LABEL] [--format dot|text] [--witness]
+  [--json]`` — summary graph rendering (``--witness`` highlights the
+  dangerous cycle and its anchored statements in the DOT output);
+* ``advise <workload> [--setting LABEL] [--max-edits N] [--method ...]
+  [--json]`` — the repair advisor: minimal edit sets (statement
+  promotions, foreign-key annotations, program splits) that make a
+  non-robust workload robust, each candidate verified incrementally
+  against the session's cached edge blocks.  Exit code 0 when the
+  workload is already robust or a repair was found, 1 when no repair
+  exists within ``--max-edits``;
 * ``cache save <workload> <path> [--setting LABEL] [--all-settings]`` /
   ``cache load <path> [--workload W]`` — persist a session's unfoldings and
   pairwise edge blocks to disk and restore them in a fresh process (no edge
   block is recomputed after a load);
 * ``serve [--host H] [--port P] [--capacity N] [--cache-dir DIR]`` — the
   long-running HTTP service: an LRU pool of warm analyzer sessions behind
-  ``POST /v1/analyze``, ``/v1/subsets``, ``/v1/graph``, ``/v1/grid``,
-  ``/v1/batch`` and ``GET /v1/stats``; ``--cache-dir`` warms the pool from
-  ``cache save`` artifacts at startup;
-* ``experiments <table2|figure6|figure7|figure8|false-negatives|all>`` —
+  ``POST /v1/analyze``, ``/v1/subsets``, ``/v1/graph``, ``/v1/advise``,
+  ``/v1/grid``, ``/v1/batch`` and ``GET /v1/stats``; ``--cache-dir``
+  warms the pool from ``cache save`` artifacts at startup *and* spills
+  LRU-evicted sessions back to the same directory (rehydrated on the next
+  miss — see the ``spills``/``rehydrations`` counters of ``/v1/stats``);
+* ``experiments
+  <table2|figure6|figure7|figure8|false-negatives|repairs|all>`` —
   regenerate the paper's evaluation artifacts (one shared warm-session
-  service drives all grids, so e.g. Figure 7 reuses Figure 6's blocks).
+  service drives all grids, so e.g. Figure 7 reuses Figure 6's blocks;
+  ``--cell-jobs N`` executes independent grid cells on a worker pool).
 
 All commands accept any workload source :meth:`Workload.resolve` does, and
 the analysis commands accept ``--jobs N`` to compute pairwise edge blocks
@@ -50,10 +62,12 @@ from repro.experiments.false_negatives import run_false_negatives
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
+from repro.experiments.repairs import run_repairs
 from repro.experiments.table2 import run_table2
 from repro.service.core import AnalysisService
 from repro.service.http import make_server, run_server
 from repro.service.requests import (
+    AdviseRequest,
     AnalyzeRequest,
     GraphRequest,
     SubsetsRequest,
@@ -151,11 +165,36 @@ def _cmd_graph(args: argparse.Namespace) -> int:
         print(json.dumps(request.payload(service), indent=2))
         return 0
     name, graph = service.graph(request)
+    witness = None
+    if args.witness:
+        report = service.analyze(
+            AnalyzeRequest(workload=args.workload, setting=args.setting)
+        )
+        witness = report.witness or report.type1_witness
     if args.format == "dot":
-        print(to_dot(graph, name=name))
+        print(to_dot(graph, name=name, witness=witness))
     else:
         print(to_text(graph))
+        if witness is not None:
+            print(witness.describe())
     return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    service = _service_from(args)
+    request = AdviseRequest(
+        workload=args.workload,
+        setting=args.setting,
+        method=args.method,
+        max_edits=args.max_edits,
+    )
+    if args.json:
+        payload = request.payload(service)
+        print(json.dumps(payload, indent=2))
+        return 0 if payload["repaired"] else 1
+    report = service.advise(request)
+    print(report.describe())
+    return 0 if report.repaired else 1
 
 
 def _cmd_cache_save(args: argparse.Namespace) -> int:
@@ -203,10 +242,15 @@ def _cmd_cache_load(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    # --cache-dir is both tiers: warm the pool from existing artifacts at
+    # startup, and spill LRU-evicted sessions back to the same directory.
     service = AnalysisService(
-        capacity=args.capacity, jobs=args.jobs, backend=args.backend
+        capacity=args.capacity,
+        jobs=args.jobs,
+        backend=args.backend,
+        cache_dir=args.cache_dir,
     )
-    if args.cache_dir:
+    if args.cache_dir and Path(args.cache_dir).is_dir():
         warmed = service.warm_from_cache_dir(args.cache_dir)
         print(
             f"warmed {len(warmed)} session(s) from {args.cache_dir}"
@@ -227,18 +271,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     # One warm-session service behind every grid: `experiments all` shares
     # unfoldings and pairwise edge blocks across tables and figures (Figure 7
-    # reuses every block Figure 6 computed).
+    # reuses every block Figure 6 computed).  --cell-jobs fans independent
+    # grid cells over a worker pool (timing grids like figure8 stay serial
+    # so concurrent cells cannot skew their wall-clock samples).
     service = AnalysisService(jobs=args.jobs, backend=args.backend)
+    cell_jobs = args.cell_jobs
     runners = {
-        "table2": lambda: run_table2(service=service).to_text(),
-        "figure6": lambda: run_figure6(service).to_text(),
-        "figure7": lambda: run_figure7(service).to_text(),
+        "table2": lambda: run_table2(service=service, cell_jobs=cell_jobs).to_text(),
+        "figure6": lambda: run_figure6(service, cell_jobs=cell_jobs).to_text(),
+        "figure7": lambda: run_figure7(service, cell_jobs=cell_jobs).to_text(),
         "figure8": lambda: run_figure8(
             scales=args.scales or (1, 2, 4, 8, 12, 16, 24, 32),
             repetitions=args.repetitions,
             service=service,
         ).to_text(),
         "false-negatives": lambda: run_false_negatives(service=service).to_text(),
+        "repairs": lambda: run_repairs(
+            service=service, max_edits=args.max_edits
+        ).to_text(),
     }
     names = list(runners) if args.which == "all" else [args.which]
     for index, name in enumerate(names):
@@ -287,10 +337,32 @@ def build_parser() -> argparse.ArgumentParser:
     graph = subparsers.add_parser("graph", help="render the summary graph")
     graph.add_argument("workload")
     graph.add_argument("--format", choices=["dot", "text"], default="text")
+    graph.add_argument(
+        "--witness",
+        action="store_true",
+        help="highlight the dangerous cycle (if any) and its anchored statements",
+    )
     _add_setting_argument(graph)
     _add_json_argument(graph)
     _add_jobs_argument(graph)
     graph.set_defaults(func=_cmd_graph)
+
+    advise = subparsers.add_parser(
+        "advise", help="search for minimal edits making a workload robust"
+    )
+    advise.add_argument("workload")
+    advise.add_argument(
+        "--max-edits",
+        type=int,
+        default=3,
+        metavar="N",
+        help="largest edit-set size to explore (default: 3)",
+    )
+    advise.add_argument("--method", choices=["type-II", "type-I"], default="type-II")
+    _add_setting_argument(advise)
+    _add_json_argument(advise)
+    _add_jobs_argument(advise)
+    advise.set_defaults(func=_cmd_advise)
 
     cache = subparsers.add_parser(
         "cache", help="persist and restore session caches (edge blocks)"
@@ -348,12 +420,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument(
         "which",
-        choices=["table2", "figure6", "figure7", "figure8", "false-negatives", "all"],
+        choices=[
+            "table2", "figure6", "figure7", "figure8", "false-negatives",
+            "repairs", "all",
+        ],
     )
     experiments.add_argument(
         "--scales", type=int, nargs="+", help="Auction(n) scaling factors for figure8"
     )
     experiments.add_argument("--repetitions", type=int, default=10)
+    experiments.add_argument(
+        "--cell-jobs",
+        type=int,
+        metavar="N",
+        help="execute independent grid cells on N worker threads "
+        "(subset/characteristics grids; timing grids stay serial)",
+    )
+    experiments.add_argument(
+        "--max-edits",
+        type=int,
+        default=3,
+        metavar="N",
+        help="edit budget for the repairs experiment (default: 3)",
+    )
     _add_jobs_argument(experiments)
     experiments.set_defaults(func=_cmd_experiments)
     return parser

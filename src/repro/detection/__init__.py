@@ -13,6 +13,11 @@ workloads (Section 7.2).
 """
 
 from repro.detection.api import RobustnessReport, analyze
+from repro.detection.blockindex import (
+    BLOCK_WITNESS_FINDERS,
+    find_type1_violation_blocks,
+    find_type2_violation_blocks,
+)
 from repro.detection.subsets import (
     PairMatrix,
     SubsetsReport,
@@ -21,7 +26,7 @@ from repro.detection.subsets import (
 )
 from repro.detection.typei import find_type1_violation, is_robust_type1
 from repro.detection.typeii import find_type2_violation, is_robust_type2, is_robust_type2_naive
-from repro.detection.witness import CycleWitness
+from repro.detection.witness import CycleWitness, WitnessAnchor, anchor_edges
 
 __all__ = [
     "is_robust_type1",
@@ -29,7 +34,12 @@ __all__ = [
     "is_robust_type2_naive",
     "find_type1_violation",
     "find_type2_violation",
+    "find_type1_violation_blocks",
+    "find_type2_violation_blocks",
+    "BLOCK_WITNESS_FINDERS",
     "CycleWitness",
+    "WitnessAnchor",
+    "anchor_edges",
     "robust_subsets",
     "PairMatrix",
     "maximal_robust_subsets",

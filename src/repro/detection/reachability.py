@@ -8,9 +8,11 @@ connected components: within an SCC everything reaches everything, and
 between SCCs reachability follows the condensation DAG.
 
 The index is built directly over :attr:`SummaryGraph.program_adjacency`
-with an iterative Tarjan SCC pass and bitmask transitive closures — the
-detection algorithms run once per assembled (subset) graph, so this
-construction is a hot path for subset enumeration and incremental
+with a Floyd–Warshall bitmask transitive closure: program counts are
+small (tens), so ``n²`` big-int word operations beat a stack-managed
+Tarjan pass by a wide margin in Python — and the detection algorithms
+build one index per assembled (subset) graph or per repair candidate,
+making this a hot path for subset enumeration and incremental
 re-analysis.
 """
 
@@ -19,76 +21,59 @@ from __future__ import annotations
 from repro.summary.graph import SummaryGraph
 
 
-def _strongly_connected(adjacency: dict[str, tuple[str, ...]]) -> list[list[str]]:
-    """Tarjan's algorithm, iteratively; components emerge sinks-first
-    (reverse topological order of the condensation DAG)."""
-    index_of: dict[str, int] = {}
-    lowlink: dict[str, int] = {}
-    on_stack: set[str] = set()
-    stack: list[str] = []
-    components: list[list[str]] = []
-    counter = 0
-    for root in adjacency:
-        if root in index_of:
-            continue
-        work = [(root, 0)]
-        while work:
-            node, child_index = work.pop()
-            if child_index == 0:
-                index_of[node] = lowlink[node] = counter
-                counter += 1
-                stack.append(node)
-                on_stack.add(node)
-            descended = False
-            successors = adjacency[node]
-            for offset in range(child_index, len(successors)):
-                successor = successors[offset]
-                if successor not in index_of:
-                    work.append((node, offset + 1))
-                    work.append((successor, 0))
-                    descended = True
-                    break
-                if successor in on_stack:
-                    lowlink[node] = min(lowlink[node], index_of[successor])
-            if descended:
-                continue
-            if lowlink[node] == index_of[node]:
-                component = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.append(member)
-                    if member == node:
-                        break
-                components.append(component)
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-    return components
-
-
 class ReachabilityIndex:
-    """Precomputed reflexive reachability over a summary graph's programs."""
+    """Precomputed reflexive reachability over a summary graph's programs.
 
-    def __init__(self, graph: SummaryGraph):
-        adjacency = graph.program_adjacency
-        components = _strongly_connected(adjacency)
+    Accepts either a :class:`SummaryGraph` or a bare program-level
+    adjacency mapping (successor tuples per node) — the latter is what the
+    block-index detection path of :mod:`repro.detection.blockindex` builds
+    straight from cached edge-block flags, without assembling a graph.
+    """
+
+    def __init__(self, graph: "SummaryGraph | dict[str, tuple[str, ...]]"):
+        adjacency = (
+            graph if isinstance(graph, dict) else graph.program_adjacency
+        )
+        names = list(adjacency)
+        position = {name: index for index, name in enumerate(names)}
+        count = len(names)
+        # Reflexive transitive closure as one bitmask per node.
+        closure = []
+        for name in names:
+            mask = 1 << position[name]
+            for successor in adjacency[name]:
+                mask |= 1 << position[successor]
+            closure.append(mask)
+        for via in range(count):
+            bit = 1 << via
+            via_mask = closure[via]
+            for index in range(count):
+                if closure[index] & bit:
+                    closure[index] |= via_mask
+        reverse = [0] * count
+        for index in range(count):
+            mask = closure[index]
+            bit_here = 1 << index
+            remaining = mask
+            while remaining:
+                lowest = remaining & -remaining
+                reverse[lowest.bit_length() - 1] |= bit_here
+                remaining ^= lowest
+        # Mutual reachability partitions nodes into SCCs: the intersection
+        # of forward and backward closures of a node is exactly its SCC,
+        # so the mask doubles as the component key.
         self._scc_of: dict[str, int] = {}
-        for index, component in enumerate(components):
-            for node in component:
-                self._scc_of[node] = index
-        # Components arrive sinks-first, so every successor component's
-        # closure is complete by the time its predecessors are processed.
-        closures = [0] * len(components)
-        for index, component in enumerate(components):
-            mask = 1 << index
-            for node in component:
-                for successor in adjacency[node]:
-                    successor_scc = self._scc_of[successor]
-                    if successor_scc != index:
-                        mask |= closures[successor_scc]
-            closures[index] = mask
-        self._closures = closures
+        scc_ids: dict[int, int] = {}
+        representatives: list[int] = []
+        for index, name in enumerate(names):
+            key = closure[index] & reverse[index]
+            scc_id = scc_ids.get(key)
+            if scc_id is None:
+                scc_id = scc_ids[key] = len(representatives)
+                representatives.append(index)
+            self._scc_of[name] = scc_id
+        self._scc_closures = [closure[rep] for rep in representatives]
+        self._scc_bits = [1 << rep for rep in representatives]
 
     def scc(self, program: str) -> int:
         """The id of the strongly connected component containing a program."""
@@ -96,7 +81,7 @@ class ReachabilityIndex:
 
     def scc_reaches(self, source_scc: int, target_scc: int) -> bool:
         """Reflexive reachability between SCC ids."""
-        return bool(self._closures[source_scc] >> target_scc & 1)
+        return bool(self._scc_closures[source_scc] & self._scc_bits[target_scc])
 
     def reaches(self, source: str, target: str) -> bool:
         """True iff ``target`` is reachable from ``source`` (reflexively)."""

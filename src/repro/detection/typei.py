@@ -11,7 +11,7 @@ instantiations of the same program).
 from __future__ import annotations
 
 from repro.detection.reachability import reachability_index
-from repro.detection.witness import CycleWitness, connecting_edges
+from repro.detection.witness import CycleWitness, anchor_edges, connecting_edges
 from repro.summary.graph import SummaryGraph
 
 
@@ -28,10 +28,11 @@ def find_type1_violation(graph: SummaryGraph) -> CycleWitness | None:
     reach = reachability_index(graph)
     for edge in graph.counterflow_edges:
         if reach.reaches(edge.target, edge.source):
-            back_path = connecting_edges(graph, edge.target, edge.source)
+            walk = (edge, *connecting_edges(graph, edge.target, edge.source))
             return CycleWitness(
-                edges=(edge, *back_path),
+                edges=walk,
                 reason="type-I",
                 highlighted=(edge,),
+                anchors=anchor_edges(graph, walk),
             )
     return None

@@ -17,21 +17,10 @@ per strongly-connected-component pair, whether some non-counterflow edge
 
 from __future__ import annotations
 
-from repro.btp.statement import StatementType
+from repro.btp.statement import READ_TRIGGER_TYPES
 from repro.detection.reachability import reachability_index
-from repro.detection.witness import CycleWitness, connecting_edges
+from repro.detection.witness import CycleWitness, anchor_edges, connecting_edges
 from repro.summary.graph import SummaryEdge, SummaryGraph
-
-#: Types whose statements instantiate to an R- or PR-operation first —
-#: the trigger set of Theorem 6.4 / Algorithm 2.
-READ_TRIGGER_TYPES = frozenset(
-    {
-        StatementType.KEY_SELECT,
-        StatementType.PRED_SELECT,
-        StatementType.PRED_UPDATE,
-        StatementType.PRED_DELETE,
-    }
-)
 
 
 def _read_trigger_sources(graph: SummaryGraph) -> frozenset[tuple[str, str]]:
@@ -136,13 +125,18 @@ def _build_witness(
 ) -> CycleWitness:
     """Assemble the closed walk ``P1 →e1 P2 ⇝ P3 →e2 P4 →e3 P5 ⇝ P1``."""
     reason = "adjacent-counterflow" if e2.counterflow else "ordered-counterflow"
-    walk = (
+    walk = tuple(
         [e1]
         + connecting_edges(graph, e1.target, e2.source)
         + [e2, e3]
         + connecting_edges(graph, e3.target, e1.source)
     )
-    return CycleWitness(edges=tuple(walk), reason=reason, highlighted=(e1, e2, e3))
+    return CycleWitness(
+        edges=walk,
+        reason=reason,
+        highlighted=(e1, e2, e3),
+        anchors=anchor_edges(graph, walk),
+    )
 
 
 def is_robust_type2(graph: SummaryGraph) -> bool:

@@ -5,16 +5,86 @@ the offending closed walk through the summary graph, which is far more
 actionable for a developer than a bare boolean.  A witness names the
 distinguished edges (the non-counterflow edge and the counterflow edge(s)
 that make the walk dangerous) and lists the full edge sequence.
+
+Witness edges connect *LTP* nodes (``PlaceBid#2``), but the statements a
+developer can edit live in the original BTPs.  Each edge therefore carries
+a :class:`WitnessAnchor` resolving both endpoints to stable statement
+anchors ``(program name, statement name, occurrence index)`` — the program
+name is the BTP origin, not the unfolding — which is what
+:mod:`repro.repair` edits and :func:`repro.viz.to_dot` highlighting point
+at.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from typing import Any, Iterable, Mapping, NamedTuple
 
 import networkx as nx
 
 from repro.summary.graph import SummaryEdge, SummaryGraph
+
+
+class WitnessAnchor(NamedTuple):
+    """Stable statement anchors for one witness edge.
+
+    ``source_program``/``target_program`` are *BTP* names (the ``origin``
+    of the unfolded LTP the edge touches); ``source_occurrence``/
+    ``target_occurrence`` are the occurrence positions inside the LTP.
+    Unlike the LTP names on the edge itself, these survive re-unfolding
+    and name the statements a repair can actually edit.
+    """
+
+    source_program: str
+    source_stmt: str
+    source_occurrence: int
+    target_program: str
+    target_stmt: str
+    target_occurrence: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "source_program": self.source_program,
+            "source_stmt": self.source_stmt,
+            "source_occurrence": self.source_occurrence,
+            "target_program": self.target_program,
+            "target_stmt": self.target_stmt,
+            "target_occurrence": self.target_occurrence,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WitnessAnchor":
+        return cls(
+            source_program=data["source_program"],
+            source_stmt=data["source_stmt"],
+            source_occurrence=int(data["source_occurrence"]),
+            target_program=data["target_program"],
+            target_stmt=data["target_stmt"],
+            target_occurrence=int(data["target_occurrence"]),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source_program}.{self.source_stmt}@{self.source_occurrence}"
+            f" -> {self.target_program}.{self.target_stmt}@{self.target_occurrence}"
+        )
+
+
+def anchor_edges(
+    graph: SummaryGraph, edges: Iterable[SummaryEdge]
+) -> tuple[WitnessAnchor, ...]:
+    """Resolve witness edges to BTP-level statement anchors via the graph."""
+    return tuple(
+        WitnessAnchor(
+            source_program=graph.program(edge.source).origin,
+            source_stmt=edge.source_stmt,
+            source_occurrence=edge.source_pos,
+            target_program=graph.program(edge.target).origin,
+            target_stmt=edge.target_stmt,
+            target_occurrence=edge.target_pos,
+        )
+        for edge in edges
+    )
 
 
 @dataclass(frozen=True)
@@ -26,11 +96,15 @@ class CycleWitness:
     ``reason`` explains which condition of Theorem 6.4 the walk satisfies:
     ``'type-I'`` (a counterflow edge on a cycle — the [3] condition),
     ``'adjacent-counterflow'`` or ``'ordered-counterflow'``.
+    ``anchors`` (when present) aligns 1:1 with ``edges`` and resolves each
+    endpoint to a BTP-level statement anchor; it is derived data and does
+    not participate in equality.
     """
 
     edges: tuple[SummaryEdge, ...]
     reason: str
     highlighted: tuple[SummaryEdge, ...] = field(default=())
+    anchors: tuple[WitnessAnchor, ...] = field(default=(), compare=False)
 
     def __post_init__(self) -> None:
         if not self.edges:
@@ -40,29 +114,62 @@ class CycleWitness:
                 raise ValueError(
                     f"witness is not a closed walk: {current} does not connect to {following}"
                 )
+        if self.anchors and len(self.anchors) != len(self.edges):
+            raise ValueError(
+                f"witness anchors must align with edges: "
+                f"{len(self.anchors)} anchors for {len(self.edges)} edges"
+            )
 
     @property
     def programs(self) -> tuple[str, ...]:
         """The programs visited, in order (may contain repeats)."""
         return tuple(edge.source for edge in self.edges)
 
+    def anchored_edges(
+        self,
+    ) -> tuple[tuple[SummaryEdge, "WitnessAnchor | None"], ...]:
+        """The walk as ``(edge, anchor)`` pairs (anchor ``None`` when the
+        witness carries no anchors, e.g. one deserialized from a pre-anchor
+        payload)."""
+        if self.anchors:
+            return tuple(zip(self.edges, self.anchors))
+        return tuple((edge, None) for edge in self.edges)
+
+    def statement_anchors(self) -> tuple[tuple[str, str, int], ...]:
+        """The distinct offending statements, as ``(program, statement,
+        occurrence)`` triples in walk order — the *source* side of every
+        highlighted edge (the statement whose read/write admits the
+        dependency), deduplicated."""
+        result: dict[tuple[str, str, int], None] = {}
+        for edge, anchor in self.anchored_edges():
+            if anchor is None or (self.highlighted and edge not in self.highlighted):
+                continue
+            result.setdefault(
+                (anchor.source_program, anchor.source_stmt, anchor.source_occurrence)
+            )
+        return tuple(result)
+
     def describe(self) -> str:
         """Multi-line human-readable rendering of the witness."""
         lines = [f"dangerous cycle ({self.reason}):"]
-        for edge in self.edges:
+        for edge, anchor in self.anchored_edges():
             marker = " *" if edge in self.highlighted else ""
-            lines.append(f"  {edge} [{edge.kind}]{marker}")
+            location = f"  ({anchor})" if anchor is not None else ""
+            lines.append(f"  {edge} [{edge.kind}]{marker}{location}")
         return "\n".join(lines)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-compatible form; ``highlighted`` is stored as edge indices."""
-        return {
+        data = {
             "reason": self.reason,
             "edges": [edge.to_dict() for edge in self.edges],
             "highlighted": [
                 index for index, edge in enumerate(self.edges) if edge in self.highlighted
             ],
         }
+        if self.anchors:
+            data["anchors"] = [anchor.to_dict() for anchor in self.anchors]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CycleWitness":
@@ -71,6 +178,9 @@ class CycleWitness:
             edges=edges,
             reason=data["reason"],
             highlighted=tuple(edges[index] for index in data.get("highlighted", ())),
+            anchors=tuple(
+                WitnessAnchor.from_dict(item) for item in data.get("anchors", ())
+            ),
         )
 
     def __str__(self) -> str:

@@ -12,7 +12,10 @@ One module per artifact:
 * :mod:`repro.experiments.false_negatives` — the Section 7.2 completeness
   analysis: counterexample search confirms every SmallBank subset rejected
   by Algorithm 2 is genuinely non-robust, and documents the {Delivery}
-  false negative on TPC-C.
+  false negative on TPC-C;
+* :mod:`repro.experiments.repairs` — the PR 5 repair tables: minimal edit
+  sets that turn each non-robust SmallBank/Auction verdict robust, with
+  the repaired workloads re-analysed under all four settings.
 
 Each module exposes ``run()`` returning a result object with ``to_text()``,
 and :mod:`repro.experiments.expected` records the paper's reported values
@@ -24,6 +27,7 @@ from repro.experiments.false_negatives import run_false_negatives
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
+from repro.experiments.repairs import run_repairs
 from repro.experiments.table2 import run_table2
 
 __all__ = [
@@ -33,4 +37,5 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_false_negatives",
+    "run_repairs",
 ]

@@ -80,6 +80,10 @@ def characterize(
     cell = service.grid(
         GridSpec(workloads=(workload,), settings=(ATTR_DEP_FK,), task="detect")
     ).cells[0]
+    return _row_from_cell(workload, cell)
+
+
+def _row_from_cell(workload: Workload, cell) -> Table2Row:
     stats = cell.value["graph"]
     attr_counts = sorted(len(relation.attributes) for relation in workload.schema)
     if attr_counts[0] == attr_counts[-1]:
@@ -103,18 +107,30 @@ def run_table2(
     jobs: int | None = None,
     backend: str = "thread",
     service: AnalysisService | None = None,
+    cell_jobs: int | None = None,
 ) -> Table2Result:
     """Regenerate Table 2 (optionally including one Auction(n) row).
 
     ``jobs``/``backend`` configure block construction when no ``service``
-    is passed; a shared service reuses its pooled sessions.
+    is passed; a shared service reuses its pooled sessions.  All rows are
+    one multi-workload grid, so ``cell_jobs`` characterizes the
+    benchmarks concurrently.
     """
     service = service or AnalysisService(jobs=jobs, backend=backend)
-    rows = [
-        characterize(smallbank(), service),
-        characterize(tpcc(), service),
-        characterize(auction(), service),
-    ]
+    workloads = [smallbank(), tpcc(), auction()]
     if auction_scale is not None and auction_scale > 1:
-        rows.append(characterize(auction_n(auction_scale), service))
-    return Table2Result(tuple(rows))
+        workloads.append(auction_n(auction_scale))
+    result = service.grid(
+        GridSpec(
+            workloads=tuple(workloads),
+            settings=(ATTR_DEP_FK,),
+            task="detect",
+            cell_jobs=cell_jobs,
+        )
+    )
+    return Table2Result(
+        tuple(
+            _row_from_cell(workload, result.cell(workload.name, ATTR_DEP_FK))
+            for workload in workloads
+        )
+    )

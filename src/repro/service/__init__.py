@@ -4,27 +4,34 @@ Three layers, each usable on its own:
 
 * :class:`AnalysisService` — an LRU pool of warm, thread-safe
   :class:`~repro.analysis.Analyzer` sessions keyed by workload fingerprint,
-  with typed entry points, a ``handle(kind, mapping)`` JSON dispatch, and
-  cache-directory warm start (:meth:`AnalysisService.warm_from_cache_dir`);
+  with typed entry points, a ``handle(kind, mapping)`` JSON dispatch,
+  cache-directory warm start (:meth:`AnalysisService.warm_from_cache_dir`)
+  and — with ``cache_dir=`` — eviction-time spill plus rehydration, so a
+  bounded pool keeps its warm state across the LRU boundary;
 * the typed request layer — :class:`AnalyzeRequest`,
-  :class:`SubsetsRequest`, :class:`GraphRequest`, :class:`GridRequest`,
-  :class:`BatchRequest`, validating JSON-shaped mappings without argparse
-  and answering with the exact CLI ``--json`` payloads (errors become the
-  :class:`ServiceError` envelope, carrying the CLI's exit-code-2 semantics);
+  :class:`SubsetsRequest`, :class:`GraphRequest`, :class:`AdviseRequest`,
+  :class:`GridRequest`, :class:`BatchRequest`, validating JSON-shaped
+  mappings without argparse and answering with the exact CLI ``--json``
+  payloads (errors become the :class:`ServiceError` envelope, carrying the
+  CLI's exit-code-2 semantics);
 * the Grid API — :class:`GridSpec` sweeps (workload × settings × scale,
-  per-cell timing) that the :mod:`repro.experiments` modules ride, so the
-  paper's evaluation grids share warm block caches and the process backend;
+  per-cell timing, ``cell_jobs=`` worker-pool fan-out over independent
+  cells) that the :mod:`repro.experiments` modules ride, so the paper's
+  evaluation grids share warm block caches and the process backend;
 * the stdlib HTTP frontend — ``repro serve`` /
   :func:`repro.service.http.serve`, exposing ``POST /v1/analyze`` /
-  ``/v1/subsets`` / ``/v1/graph`` / ``/v1/grid`` / ``/v1/batch`` and
-  ``GET /v1/stats`` over :class:`~http.server.ThreadingHTTPServer`.
+  ``/v1/subsets`` / ``/v1/graph`` / ``/v1/advise`` / ``/v1/grid`` /
+  ``/v1/batch`` and ``GET /v1/stats`` over
+  :class:`~http.server.ThreadingHTTPServer`.
 """
 
 from repro.service.core import AnalysisService
 from repro.service.grid import TASKS, GridCell, GridResult, GridSpec, run_grid
 from repro.service.http import ServiceHTTPServer, make_server, serve
 from repro.service.requests import (
+    MAX_BATCH_ITEMS,
     REQUEST_KINDS,
+    AdviseRequest,
     AnalyzeRequest,
     BatchRequest,
     GraphRequest,
@@ -39,8 +46,10 @@ __all__ = [
     "AnalyzeRequest",
     "SubsetsRequest",
     "GraphRequest",
+    "AdviseRequest",
     "GridRequest",
     "BatchRequest",
+    "MAX_BATCH_ITEMS",
     "ServiceError",
     "REQUEST_KINDS",
     "parse_request",

@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.detection.api import RobustnessReport
     from repro.detection.subsets import SubsetsReport
     from repro.service.requests import (
+        AdviseRequest,
         AnalyzeRequest,
         BatchRequest,
         GraphRequest,
@@ -71,6 +72,7 @@ class AnalysisService:
         jobs: int | None = None,
         backend: str = "thread",
         max_loop_iterations: int = 2,
+        cache_dir: str | Path | None = None,
     ):
         if capacity < 1:
             raise ProgramError(f"service capacity must be >= 1, got {capacity}")
@@ -83,6 +85,11 @@ class AnalysisService:
         self.jobs = jobs
         self.backend = backend
         self.max_loop_iterations = max_loop_iterations
+        #: When set, LRU-evicted sessions *spill* to
+        #: ``cache_dir/<fingerprint>.json`` instead of dropping their warm
+        #: state, and pool misses rehydrate from the same artifacts — the
+        #: disk tier of the session pool.
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._pool: "OrderedDict[str, Analyzer]" = OrderedDict()
         #: Built-in source string → fingerprint, so repeat requests for
         #: ``"auction(5)"`` skip re-unfolding just to find their session.
@@ -92,6 +99,8 @@ class AnalysisService:
         self._requests = 0
         self._pool_hits = 0
         self._pool_misses = 0
+        self._spills = 0
+        self._rehydrations = 0
 
     # -- session pool --------------------------------------------------------
     def fresh_session(
@@ -161,16 +170,80 @@ class AnalysisService:
                 self._pool.move_to_end(fingerprint)
                 self._pool_hits += 1
                 return pooled
+        # Confirmed miss: rehydrate from a spill artifact outside the lock
+        # (disk reads must not stall other sessions), then re-check — a
+        # racing thread may have pooled the fingerprint meanwhile.
+        rehydrated = self._rehydrate(candidate, fingerprint)
+        with self._lock:
+            pooled = self._pool.get(fingerprint)
+            if pooled is not None:
+                self._pool.move_to_end(fingerprint)
+                self._pool_hits += 1
+                return pooled
             self._pool_misses += 1
-            self._install(fingerprint, candidate)
-            return candidate
+            if rehydrated:
+                self._rehydrations += 1
+            evicted = self._install(fingerprint, candidate)
+        self._spill(evicted)
+        return candidate
 
-    def _install(self, fingerprint: str, session: Analyzer) -> None:
-        """Pool a session under its fingerprint (lock held by caller)."""
+    def _rehydrate(self, candidate: Analyzer, fingerprint: str) -> bool:
+        """Seed a fresh candidate session from a spilled cache artifact.
+
+        Best-effort: a missing, stale or unreadable artifact simply leaves
+        the candidate cold (``load_cache`` rejects mismatches itself).
+        Called outside the pool lock — rehydration reads disk.
+        """
+        if self.cache_dir is None:
+            return False
+        path = self.cache_dir / f"{fingerprint}.json"
+        if not path.is_file():
+            return False
+        try:
+            candidate.load_cache(path)
+        except (ReproError, ValueError, OSError):
+            return False
+        return True
+
+    def _install(
+        self, fingerprint: str, session: Analyzer
+    ) -> list[tuple[str, Analyzer]]:
+        """Pool a session under its fingerprint (lock held by caller).
+
+        Returns the LRU-evicted ``(fingerprint, session)`` pairs; the
+        caller hands them to :meth:`_spill` *after releasing the pool
+        lock* — serializing an evicted session acquires that session's
+        own lock and writes disk, neither of which may stall every other
+        ``session()`` call.
+        """
         self._pool[fingerprint] = session
         self._pool.move_to_end(fingerprint)
+        evicted: list[tuple[str, Analyzer]] = []
         while len(self._pool) > self.capacity:
-            self._pool.popitem(last=False)
+            evicted.append(self._pool.popitem(last=False))
+        return evicted
+
+    def _spill(self, evicted: list[tuple[str, Analyzer]]) -> None:
+        """Persist evicted sessions to the cache directory (best-effort).
+
+        With a ``cache_dir``, eviction spills warm state to
+        ``<fingerprint>.json`` instead of dropping it; a later miss on
+        the same fingerprint rehydrates from the artifact with zero block
+        recomputation.  Must be called without the pool lock held.
+        """
+        if self.cache_dir is None or not evicted:
+            return
+        spilled = 0
+        for fingerprint, session in evicted:
+            try:
+                self.cache_dir.mkdir(parents=True, exist_ok=True)
+                session.save_cache(self.cache_dir / f"{fingerprint}.json")
+            except OSError:
+                continue
+            spilled += 1
+        if spilled:
+            with self._lock:
+                self._spills += spilled
 
     def sessions(self) -> dict[str, Analyzer]:
         """A snapshot of the warm pool (fingerprint → session)."""
@@ -213,13 +286,15 @@ class AnalysisService:
             except (ReproError, ValueError, OSError):
                 continue
             fingerprint = data.get("fingerprint") or session.fingerprint()
+            evicted: list[tuple[str, Analyzer]] = []
             with self._lock:
                 if fingerprint not in self._pool:
-                    self._install(fingerprint, session)
+                    evicted = self._install(fingerprint, session)
                     warmed.append(session.workload.name)
                 memo_key = self._memo_key(source)
                 if memo_key:
                     self._fingerprint_memo[memo_key] = fingerprint
+            self._spill(evicted)
         return warmed
 
     def save_to_cache_dir(self, directory: str | Path) -> list[Path]:
@@ -246,6 +321,11 @@ class AnalysisService:
         return request.execute(self)
 
     def graph(self, request: "GraphRequest"):
+        return request.execute(self)
+
+    def advise(self, request: "AdviseRequest"):
+        """Minimal repair edit sets for a non-robust workload
+        (a :class:`repro.repair.RepairReport`)."""
         return request.execute(self)
 
     def grid(self, spec: "GridSpec | GridRequest") -> GridResult:
@@ -286,15 +366,20 @@ class AnalysisService:
             requests = self._requests
             hits = self._pool_hits
             misses = self._pool_misses
+            spills = self._spills
+            rehydrations = self._rehydrations
         return {
             "version": __version__,
             "capacity": self.capacity,
             "jobs": self.jobs,
             "backend": self.backend,
             "max_loop_iterations": self.max_loop_iterations,
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
             "requests": requests,
             "pool_hits": hits,
             "pool_misses": misses,
+            "spills": spills,
+            "rehydrations": rehydrations,
             "sessions": [
                 {
                     "fingerprint": fingerprint,

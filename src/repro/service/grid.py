@@ -21,6 +21,7 @@ the response body of the service's ``/v1/grid`` endpoint.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
@@ -52,6 +53,13 @@ class GridSpec:
     ``repetitions`` times the task that many times per cell (the cell keeps
     every sample); ``include_verdicts`` adds the full subset verdict grid to
     ``task="subsets"`` cells (the false-negative sweep needs it).
+
+    ``cell_jobs`` fans *independent cells* out over a worker pool: sessions
+    are thread-safe (PR 4), so cells of different workloads — and different
+    settings of one workload — execute concurrently while the result keeps
+    its deterministic workloads-major order (property-tested identical to
+    serial execution).  Leave it unset for timing grids: concurrent cells
+    contend for cores and would skew per-cell wall-clock measurements.
     """
 
     workloads: tuple[WorkloadSource, ...]
@@ -61,6 +69,7 @@ class GridSpec:
     repetitions: int = 1
     warm: bool = True
     include_verdicts: bool = False
+    cell_jobs: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -76,6 +85,10 @@ class GridSpec:
         if self.repetitions < 1:
             raise ProgramError(
                 f"grid repetitions must be >= 1, got {self.repetitions}"
+            )
+        if self.cell_jobs is not None and self.cell_jobs < 1:
+            raise ProgramError(
+                f"grid cell_jobs must be >= 1, got {self.cell_jobs}"
             )
 
 
@@ -175,6 +188,40 @@ def _run_task(session: "Analyzer", spec: GridSpec, settings: AnalysisSettings) -
     return value
 
 
+def _run_cell(
+    spec: GridSpec,
+    service: "AnalysisService",
+    source: WorkloadSource,
+    session: "Analyzer | None",
+    settings: AnalysisSettings,
+) -> GridCell:
+    """Execute one (workload, settings) cell, timing each repetition.
+
+    ``session`` is the workload's pooled warm session, resolved once per
+    source by :func:`run_grid` (resolving inside the cell would re-unfold
+    the workload per cell just to find its fingerprint); cold cells build
+    a fresh session per repetition instead.
+    """
+    seconds: list[float] = []
+    value: dict[str, Any] = {}
+    name = ""
+    for _ in range(spec.repetitions):
+        cell_session = (
+            session if session is not None else service.fresh_session(source)
+        )
+        started = time.perf_counter()
+        value = _run_task(cell_session, spec, settings)
+        seconds.append(time.perf_counter() - started)
+        name = cell_session.workload.name
+    return GridCell(
+        workload=name,
+        settings=settings.label,
+        task=spec.task,
+        value=value,
+        seconds=tuple(seconds),
+    )
+
+
 def run_grid(spec: GridSpec, service: "AnalysisService") -> GridResult:
     """Execute a grid over the service's session pool.
 
@@ -183,34 +230,35 @@ def run_grid(spec: GridSpec, service: "AnalysisService") -> GridResult:
     grid, across *grids* (Figure 7 reuses every block Figure 6 computed).
     Cold cells (``warm=False``) pay the full pipeline per repetition, which
     is the measurement Figure 8 reports.
+
+    With ``cell_jobs > 1`` the independent cells run on a thread pool
+    (sessions and the pool are thread-safe); results are collected in
+    submission order, so the cell sequence — and therefore the
+    :meth:`GridResult.to_dict` payload modulo timings — is identical to a
+    serial run.
     """
-    cells: list[GridCell] = []
-    for source in spec.workloads:
-        session = service.session(source) if spec.warm else None
-        for settings in spec.settings:
-            seconds: list[float] = []
-            value: dict[str, Any] = {}
-            name = ""
-            for _ in range(spec.repetitions):
-                cell_session = (
-                    session if session is not None else service.fresh_session(source)
-                )
-                started = time.perf_counter()
-                value = _run_task(cell_session, spec, settings)
-                seconds.append(time.perf_counter() - started)
-                name = cell_session.workload.name
-            cells.append(
-                GridCell(
-                    workload=name,
-                    settings=settings.label,
-                    task=spec.task,
-                    value=value,
-                    seconds=tuple(seconds),
-                )
+    sessions = [
+        service.session(source) if spec.warm else None
+        for source in spec.workloads
+    ]
+    pairs = [
+        (source, session, settings)
+        for source, session in zip(spec.workloads, sessions)
+        for settings in spec.settings
+    ]
+    if spec.cell_jobs is not None and spec.cell_jobs > 1 and len(pairs) > 1:
+        with ThreadPoolExecutor(max_workers=spec.cell_jobs) as pool:
+            cells = tuple(
+                pool.map(lambda pair: _run_cell(spec, service, *pair), pairs)
             )
+    else:
+        cells = tuple(
+            _run_cell(spec, service, source, session, settings)
+            for source, session, settings in pairs
+        )
     return GridResult(
         task=spec.task,
-        cells=tuple(cells),
+        cells=cells,
         warm=spec.warm,
         repetitions=spec.repetitions,
     )

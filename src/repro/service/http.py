@@ -4,8 +4,8 @@ A :class:`ThreadingHTTPServer` over one shared
 :class:`~repro.service.AnalysisService` — no third-party web framework,
 just ``http.server``.  Routes:
 
-* ``POST /v1/analyze`` / ``/v1/subsets`` / ``/v1/graph`` / ``/v1/grid`` /
-  ``/v1/batch`` — a JSON request body dispatched through
+* ``POST /v1/analyze`` / ``/v1/subsets`` / ``/v1/graph`` / ``/v1/advise``
+  / ``/v1/grid`` / ``/v1/batch`` — a JSON request body dispatched through
   :meth:`AnalysisService.handle`; the response body is byte-identical to
   the corresponding CLI ``--json`` output (same dispatch, same
   serialization, same trailing newline);

@@ -232,6 +232,48 @@ class GraphRequest:
 
 
 @dataclass(frozen=True)
+class AdviseRequest:
+    """``repro advise`` / ``POST /v1/advise``: minimal repair edit sets
+    for a non-robust workload (a :class:`repro.repair.RepairReport`)."""
+
+    workload: str
+    setting: str | None = None
+    method: str = "type-II"
+    max_edits: int = 3
+
+    kind = "advise"
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "AdviseRequest":
+        data = _require_mapping(data, f"an {cls.kind} request")
+        _reject_unknown_keys(
+            data, ("workload", "setting", "method", "max_edits"), cls.kind
+        )
+        max_edits = _int(data, "max_edits", cls.kind, 3)
+        if max_edits < 1:
+            raise ServiceError(
+                f"{cls.kind} request: field 'max_edits' must be >= 1, got {max_edits}"
+            )
+        return cls(
+            workload=_string(data, "workload", cls.kind, required=True),
+            setting=_string(data, "setting", cls.kind),
+            method=_method(data, cls.kind),
+            max_edits=max_edits,
+        )
+
+    def execute(self, service: "AnalysisService"):
+        session = service.session(self.workload)
+        return session.advise(
+            _settings(self.setting, self.kind),
+            method=self.method,
+            max_edits=self.max_edits,
+        )
+
+    def payload(self, service: "AnalysisService") -> dict[str, Any]:
+        return self.execute(service).to_dict()
+
+
+@dataclass(frozen=True)
 class GridRequest:
     """``POST /v1/grid``: a declarative workload × settings sweep.
 
@@ -246,6 +288,7 @@ class GridRequest:
     repetitions: int = 1
     warm: bool = True
     include_verdicts: bool = False
+    cell_jobs: int | None = None
 
     kind = "grid"
 
@@ -255,7 +298,7 @@ class GridRequest:
         _reject_unknown_keys(
             data,
             ("workloads", "settings", "task", "method", "repetitions", "warm",
-             "include_verdicts"),
+             "include_verdicts", "cell_jobs"),
             cls.kind,
         )
         workloads = _name_list(data, "workloads", cls.kind)
@@ -264,6 +307,9 @@ class GridRequest:
                 f"{cls.kind} request: missing required field 'workloads' "
                 "(a non-empty list of workload sources)"
             )
+        cell_jobs = (
+            _int(data, "cell_jobs", cls.kind, 1) if "cell_jobs" in data else None
+        )
         return cls(
             workloads=workloads,
             settings=_name_list(data, "settings", cls.kind),
@@ -272,6 +318,7 @@ class GridRequest:
             repetitions=_int(data, "repetitions", cls.kind, 1),
             warm=_bool(data, "warm", cls.kind, True),
             include_verdicts=_bool(data, "include_verdicts", cls.kind, False),
+            cell_jobs=cell_jobs,
         )
 
     def spec(self) -> GridSpec:
@@ -289,6 +336,7 @@ class GridRequest:
                 repetitions=self.repetitions,
                 warm=self.warm,
                 include_verdicts=self.include_verdicts,
+                cell_jobs=self.cell_jobs,
             )
         except ReproError as error:
             raise ServiceError(f"{self.kind} request: {error}") from None
@@ -300,13 +348,20 @@ class GridRequest:
         return self.execute(service).to_dict()
 
 
+#: Hard cap on items per batch request: a single oversized batch would
+#: otherwise monopolize the pool for an unbounded stretch (and serve as a
+#: trivial request-amplification vector).
+MAX_BATCH_ITEMS = 64
+
+
 @dataclass(frozen=True)
 class BatchRequest:
     """``POST /v1/batch``: several requests in one round trip.
 
     Items execute in order against the same warm pool; a failing item
     yields its :class:`ServiceError` envelope in place of a result and the
-    remaining items still run.
+    remaining items still run.  Batches are capped at
+    :data:`MAX_BATCH_ITEMS` items.
     """
 
     requests: tuple[tuple[str | None, Mapping[str, Any]], ...]
@@ -321,6 +376,11 @@ class BatchRequest:
         if not isinstance(items, (list, tuple)) or not items:
             raise ServiceError(
                 f"{cls.kind} request: 'requests' must be a non-empty list"
+            )
+        if len(items) > MAX_BATCH_ITEMS:
+            raise ServiceError(
+                f"{cls.kind} request: {len(items)} items exceed the batch "
+                f"limit of {MAX_BATCH_ITEMS}; split the batch"
             )
         # Only the batch envelope is validated here; each item is validated
         # when it executes, so one malformed item yields one error envelope
@@ -353,6 +413,7 @@ REQUEST_KINDS: dict[str, Any] = {
     AnalyzeRequest.kind: AnalyzeRequest,
     SubsetsRequest.kind: SubsetsRequest,
     GraphRequest.kind: GraphRequest,
+    AdviseRequest.kind: AdviseRequest,
     GridRequest.kind: GridRequest,
     BatchRequest.kind: BatchRequest,
 }

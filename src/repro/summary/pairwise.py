@@ -54,7 +54,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, NamedTuple, Sequence
 
 from repro.btp.ltp import LTP
-from repro.btp.statement import Statement
+from repro.btp.statement import READ_TRIGGER_TYPES, Statement
 from repro.errors import ProgramError
 from repro.schema import Schema
 from repro.summary.conditions import c_dep_conds, nc_dep_conds, protecting_fks
@@ -70,6 +70,31 @@ from repro.summary.tables import (
 
 #: The supported block-construction backends (``jobs > 1`` fan-out).
 BACKENDS = ("thread", "process")
+
+
+class BlockSummary(NamedTuple):
+    """Per-block aggregates for the block-index detection path.
+
+    One representative edge per role Algorithm 2's dangerous-pair scan
+    needs, so the scan becomes O(1) per *block pair* instead of per edge
+    pair (see :mod:`repro.detection.blockindex`):
+
+    * ``nc_rep`` / ``cf_rep`` — first non-counterflow / counterflow edge;
+    * ``trigger_rep`` — first edge whose source statement is an R- or
+      PR-operation (the Theorem 6.4 trigger set), eligible as the ``e2``
+      of a dangerous pair regardless of positions;
+    * ``max_target_pos_rep`` — the edge entering at the latest occurrence
+      position (the best possible ``e2`` for the ``q'4 <_P q4`` order
+      test);
+    * ``min_cf_source_pos_rep`` — the counterflow edge leaving from the
+      earliest position (the best possible ``e3``).
+    """
+
+    nc_rep: "SummaryEdge | None"
+    cf_rep: "SummaryEdge | None"
+    trigger_rep: "SummaryEdge | None"
+    max_target_pos_rep: "SummaryEdge | None"
+    min_cf_source_pos_rep: "SummaryEdge | None"
 
 
 def effective_statements(
@@ -382,6 +407,9 @@ class EdgeBlockStore:
         #: computed lazily — the substrate of the pair-matrix fast path of
         #: :class:`repro.detection.subsets.PairMatrix`.
         self._flags: dict[tuple[str, str], tuple[bool, bool]] = {}
+        #: Per-block :class:`BlockSummary` aggregates, computed lazily —
+        #: the substrate of the block-index detection path.
+        self._summaries: dict[tuple[str, str], BlockSummary] = {}
         self._computed = 0
         self._loaded = 0
         self._hits = 0
@@ -422,6 +450,7 @@ class EdgeBlockStore:
                 if pair in self._blocks:
                     del self._blocks[pair]
                     self._flags.pop(pair, None)
+                    self._summaries.pop(pair, None)
                     other = pair[1] if pair[0] == name else pair[0]
                     if other != name and other in self._pairs_by_name:
                         self._pairs_by_name[other].discard(pair)
@@ -453,6 +482,7 @@ class EdgeBlockStore:
             self._computed += 1
         self._blocks[pair] = block
         self._flags.pop(pair, None)
+        self._summaries.pop(pair, None)
         self._pairs_by_name[pair[0]].add(pair)
         self._pairs_by_name[pair[1]].add(pair)
 
@@ -494,6 +524,92 @@ class EdgeBlockStore:
             flags = self._flags[pair] = (has_non_counterflow, has_counterflow)
         return flags
 
+    def subset_index(
+        self, names: Sequence[str]
+    ) -> tuple[
+        dict[str, tuple[str, ...]],
+        list[tuple[str, str]],
+        list[tuple[str, str]],
+    ]:
+        """``(adjacency, nc_blocks, cf_blocks)`` over cached blocks.
+
+        One pass over the subset's ordered pairs with direct access to the
+        flag memo (computing missing flags inline), so the block-index
+        detectors pay ~n² dictionary probes instead of 3·n² method calls.
+        Requires every pair's block to be cached (``ensure_blocks``
+        first).
+        """
+        flags = self._flags
+        blocks = self._blocks
+        nc_blocks: list[tuple[str, str]] = []
+        cf_blocks: list[tuple[str, str]] = []
+        adjacency: dict[str, tuple[str, ...]] = {}
+        for source in names:
+            successors: list[str] = []
+            for target in names:
+                pair = (source, target)
+                pair_flags = flags.get(pair)
+                if pair_flags is None:
+                    block = blocks[pair]
+                    pair_flags = flags[pair] = (
+                        any(not edge.counterflow for edge in block),
+                        any(edge.counterflow for edge in block),
+                    )
+                has_nc, has_cf = pair_flags
+                if has_nc:
+                    nc_blocks.append(pair)
+                if has_cf:
+                    cf_blocks.append(pair)
+                if has_nc or has_cf:
+                    successors.append(target)
+            adjacency[source] = tuple(successors)
+        return adjacency, nc_blocks, cf_blocks
+
+    def block_summary(self, source: str, target: str) -> BlockSummary:
+        """The :class:`BlockSummary` aggregates of one cached block.
+
+        Requires the block to be cached (``ensure_blocks`` first); the
+        scan happens once per block and is memoized (and carried across
+        :meth:`seed_from`, so a forked session never re-aggregates
+        baseline blocks).  The trigger test resolves each edge's source
+        statement through the registered LTP — statement *types* are
+        unaffected by tuple-granularity widening, so the aggregate is
+        exact for every settings row.
+        """
+        pair = (source, target)
+        summary = self._summaries.get(pair)
+        if summary is not None:
+            return summary
+        block = self._blocks[pair]
+        nc_rep = cf_rep = trigger_rep = None
+        max_target_pos_rep = min_cf_source_pos_rep = None
+        source_ltp = self._ltps[source]
+        for edge in block:
+            if edge.counterflow:
+                if cf_rep is None:
+                    cf_rep = edge
+                if (
+                    min_cf_source_pos_rep is None
+                    or edge.source_pos < min_cf_source_pos_rep.source_pos
+                ):
+                    min_cf_source_pos_rep = edge
+            elif nc_rep is None:
+                nc_rep = edge
+            if trigger_rep is None and (
+                source_ltp.statement_at(edge.source_pos).stype in READ_TRIGGER_TYPES
+            ):
+                trigger_rep = edge
+            if (
+                max_target_pos_rep is None
+                or edge.target_pos > max_target_pos_rep.target_pos
+            ):
+                max_target_pos_rep = edge
+        summary = BlockSummary(
+            nc_rep, cf_rep, trigger_rep, max_target_pos_rep, min_cf_source_pos_rep
+        )
+        self._summaries[pair] = summary
+        return summary
+
     def load_block(
         self, source: str, target: str, edges: Iterable[SummaryEdge]
     ) -> None:
@@ -502,6 +618,40 @@ class EdgeBlockStore:
             if name not in self._ltps:
                 raise ProgramError(f"edge-block store: unknown program {name!r}")
         self._install((source, target), tuple(edges), loaded=True)
+
+    def seed_from(self, other: "EdgeBlockStore") -> None:
+        """Adopt another store's programs, compiled profiles and blocks.
+
+        The in-process counterpart of :meth:`load_block`: programs carry
+        their already-compiled kernel profiles over (no recompilation),
+        and every cached block is shared by reference (blocks are
+        immutable tuples) and counted under ``loaded``.  Both stores must
+        describe the same schema and settings — this is what
+        :meth:`repro.analysis.Analyzer.fork` builds a candidate-verifying
+        session from without paying per-block install overhead.
+        """
+        if other.schema is not self.schema or other.settings != self.settings:
+            raise ProgramError(
+                "can only seed an edge-block store from one over the same "
+                "schema and settings"
+            )
+        for name, ltp in other._ltps.items():
+            known = self._ltps.get(name)
+            if known is not None and known is not ltp and known != ltp:
+                raise ProgramError(
+                    f"edge-block store already holds a different program named "
+                    f"{name!r}; discard it before seeding"
+                )
+        self._ltps.update(other._ltps)
+        self._profiles.update(other._profiles)
+        for name, pairs in other._pairs_by_name.items():
+            self._pairs_by_name.setdefault(name, set()).update(pairs)
+        for pair, block in other._blocks.items():
+            if pair not in self._blocks:
+                self._loaded += 1
+            self._blocks[pair] = block
+        self._flags.update(other._flags)
+        self._summaries.update(other._summaries)
 
     def ensure_blocks(
         self,
@@ -628,6 +778,7 @@ class EdgeBlockStore:
         self._blocks.clear()
         self._pairs_by_name.clear()
         self._flags.clear()
+        self._summaries.clear()
         self._computed = 0
         self._loaded = 0
         self._hits = 0

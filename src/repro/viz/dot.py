@@ -5,11 +5,21 @@ solid edges for non-counterflow dependencies, dashed edges for counterflow
 dependencies, and edge labels of the form ``q1→q3`` naming the statement
 pair that admits the dependency.  Parallel edges between the same programs
 are merged into one arrow whose label stacks the statement pairs.
+
+Passing a :class:`~repro.detection.CycleWitness` highlights the dangerous
+cycle: walk edges render red (the distinguished edges bold), the programs
+on the walk get a red border, and the graph label lists the witness's
+statement anchors — the exact offending statements a repair would edit.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.summary.graph import SummaryGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.detection.witness import CycleWitness
 
 
 def _quote(text: str) -> str:
@@ -22,22 +32,51 @@ def to_dot(
     name: str = "SuG",
     include_labels: bool = True,
     max_label_pairs: int = 6,
+    witness: "CycleWitness | None" = None,
 ) -> str:
     """Render the summary graph as Graphviz DOT text."""
+    walk_edges = set(witness.edges) if witness is not None else set()
+    bold_edges = set(witness.highlighted) if witness is not None else set()
+    walk_programs = {edge.source for edge in walk_edges} | {
+        edge.target for edge in walk_edges
+    }
     lines = [f"digraph {_quote(name)} {{", "  rankdir=LR;", "  node [shape=box];"]
+    if witness is not None:
+        anchors = witness.statement_anchors()
+        caption = f"dangerous cycle ({witness.reason})"
+        if anchors:
+            caption += "\noffending statements: " + ", ".join(
+                f"{program}.{stmt}@{occurrence}"
+                for program, stmt, occurrence in anchors
+            )
+        lines.append(f"  label={_quote(caption)};")
+        lines.append("  labelloc=b;")
     for program in graph.programs:
         label = program.name
         if program.is_empty:
             label += " (ε)"
-        lines.append(f"  {_quote(program.name)} [label={_quote(label)}];")
+        attrs = [f"label={_quote(label)}"]
+        if program.name in walk_programs:
+            attrs.append("color=red")
+        lines.append(f"  {_quote(program.name)} [{', '.join(attrs)}];")
     grouped: dict[tuple[str, str, bool], list[str]] = {}
+    group_walk: dict[tuple[str, str, bool], str | None] = {}
     for edge in graph.edges:
         key = (edge.source, edge.target, edge.counterflow)
         grouped.setdefault(key, []).append(f"{edge.source_stmt}→{edge.target_stmt}")
+        if edge in bold_edges:
+            group_walk[key] = "bold"
+        elif edge in walk_edges:
+            group_walk.setdefault(key, "walk")
     for (source, target, counterflow), labels in grouped.items():
         attrs = []
         if counterflow:
             attrs.append("style=dashed")
+        role = group_walk.get((source, target, counterflow))
+        if role is not None:
+            attrs.append("color=red")
+            if role == "bold":
+                attrs.append("penwidth=2")
         if include_labels:
             unique = list(dict.fromkeys(labels))
             if len(unique) > max_label_pairs:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence, Union
@@ -92,6 +93,42 @@ class Workload:
             f"{type(source).__name__}; pass a Workload, a built-in name, a file "
             "path, workload text, or a sequence of BTPs with schema=..."
         )
+
+    def with_programs(
+        self, programs: Sequence[BTP], validate: Sequence[BTP] = ()
+    ) -> "Workload":
+        """A copy with a new program tuple, validating only ``validate``.
+
+        The incremental-edit fast path behind
+        :meth:`repro.analysis.Analyzer.replace_program`: a plain
+        ``dataclasses.replace`` re-validates *every* program against the
+        schema, which dominates the cost of swapping one program in a
+        large workload.  Programs not listed in ``validate`` must already
+        have been validated against this workload's schema (they were —
+        they come from an existing workload); duplicate-name checking
+        still covers the full tuple.
+        """
+        programs = tuple(programs)
+        names = [program.name for program in programs]
+        if len(set(names)) != len(names):
+            raise ProgramError(
+                f"workload {self.name!r}: duplicate program names {names!r}"
+            )
+        for program in validate:
+            program.validate_against(self.schema)
+        # Clone field-by-field from the dataclass definition (not a
+        # hard-coded list) so a future Workload field cannot silently be
+        # dropped; __post_init__ is deliberately bypassed — it would
+        # re-validate every unchanged program, which is the cost this
+        # fast path exists to avoid.
+        clone = object.__new__(Workload)
+        for spec in dataclasses.fields(Workload):
+            object.__setattr__(
+                clone,
+                spec.name,
+                programs if spec.name == "programs" else getattr(self, spec.name),
+            )
+        return clone
 
     @property
     def program_names(self) -> tuple[str, ...]:

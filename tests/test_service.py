@@ -563,3 +563,180 @@ class TestHTTP:
         assert stats["requests"] > 0
         for entry in stats["sessions"]:
             assert set(entry) == {"fingerprint", "workload", "programs", "cache_info"}
+
+
+# ---------------------------------------------------------------------------
+# PR 5: the advise endpoint, batch caps, eviction spill, cell fan-out
+# ---------------------------------------------------------------------------
+
+class TestAdviseRequests:
+    def test_advise_payload_matches_session_advise(self):
+        service = AnalysisService()
+        payload = service.handle("advise", {"workload": "smallbank"})
+        direct = Analyzer("smallbank").advise(ATTR_DEP_FK).to_dict()
+        assert payload == direct
+        assert payload["repaired"] is True
+
+    def test_advise_already_robust(self):
+        service = AnalysisService()
+        payload = service.handle(
+            "advise", {"workload": "auction", "setting": "attr dep + FK"}
+        )
+        assert payload["already_robust"] is True and payload["repairs"] == []
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            ({}, "missing required field 'workload'"),
+            ({"workload": 7}, "must be a string"),
+            ({"workload": "smallbank", "max_edits": "three"}, "must be an integer"),
+            ({"workload": "smallbank", "max_edits": 0}, "must be >= 1"),
+            ({"workload": "smallbank", "method": "nope"}, "unknown method"),
+            ({"workload": "smallbank", "junk": 1}, "unknown field"),
+            ({"workload": "smallbank", "setting": "bogus"}, "unknown settings label"),
+        ],
+    )
+    def test_advise_validation_envelopes(self, body, fragment):
+        service = AnalysisService()
+        with pytest.raises(ServiceError, match=fragment) as excinfo:
+            service.handle("advise", body)
+        envelope = excinfo.value.envelope["error"]
+        assert envelope["exit_code"] == 2
+
+    def test_advise_over_http_is_byte_identical_to_the_cli(
+        self, http_server, capsys
+    ):
+        assert cli_main(["advise", "smallbank", "--json"]) == 0
+        cli_bytes = capsys.readouterr().out.encode()
+        status, body = _post(http_server, "/v1/advise", {"workload": "smallbank"})
+        assert status == 200
+        assert body == cli_bytes
+
+
+class TestServiceErrorEnvelopes:
+    """Satellite: ServiceError envelopes on malformed /v1/* bodies."""
+
+    @pytest.mark.parametrize(
+        "kind, body, fragment",
+        [
+            ("analyze", {"workload": ["a", "b"]}, "must be a string"),
+            ("analyze", {"workload": "auction", "subset": "Bal"}, "list of strings"),
+            ("analyze", {"workload": "auction", "subset": [1]}, "only strings"),
+            ("analyze", {"workload": "auction", "all_settings": "yes"}, "boolean"),
+            ("subsets", {"workload": "auction", "extra": True}, "unknown field"),
+            ("graph", [], "must be a JSON object"),
+            ("grid", {"workloads": []}, "non-empty"),
+            ("grid", {"workloads": ["auction"], "repetitions": 1.5}, "integer"),
+            ("grid", {"workloads": ["auction"], "cell_jobs": "x"}, "integer"),
+            ("batch", {"requests": "nope"}, "non-empty list"),
+        ],
+    )
+    def test_wrong_types_and_unknown_keys(self, kind, body, fragment):
+        service = AnalysisService()
+        with pytest.raises(ServiceError, match=fragment) as excinfo:
+            service.handle(kind, body)
+        assert excinfo.value.envelope["error"]["exit_code"] == 2
+
+    def test_oversized_batch_rejected(self):
+        from repro.service import MAX_BATCH_ITEMS
+
+        service = AnalysisService()
+        items = [{"kind": "analyze", "workload": "auction"}] * (MAX_BATCH_ITEMS + 1)
+        with pytest.raises(ServiceError, match="exceed the batch limit"):
+            service.handle("batch", {"requests": items})
+        # exactly at the cap is fine (items still validate individually)
+        payload = service.handle("batch", {"requests": items[:MAX_BATCH_ITEMS]})
+        assert len(payload["results"]) == MAX_BATCH_ITEMS
+
+
+class TestEvictionSpill:
+    """Satellite: LRU-evicted sessions spill to --cache-dir and rehydrate."""
+
+    def test_evicted_session_spills_and_rehydrates(self, tmp_path):
+        service = AnalysisService(capacity=1, cache_dir=tmp_path)
+        service.session("auction").analyze(ATTR_DEP_FK)
+        auction_fingerprint = next(iter(service.sessions()))
+        service.session("smallbank").analyze(ATTR_DEP_FK)  # evicts auction
+        spilled = tmp_path / f"{auction_fingerprint}.json"
+        assert spilled.is_file()
+        restored = service.session("auction")
+        info = restored.cache_info()
+        assert info["block_computations"] == 0
+        assert info["blocks_loaded"] > 0
+        stats = service.stats()
+        assert stats["spills"] >= 1
+        assert stats["rehydrations"] == 1
+        assert stats["cache_dir"] == str(tmp_path)
+
+    def test_no_cache_dir_means_no_spill(self):
+        service = AnalysisService(capacity=1)
+        service.session("auction").analyze(ATTR_DEP_FK)
+        service.session("smallbank").analyze(ATTR_DEP_FK)
+        rebuilt = service.session("auction")
+        assert rebuilt.cache_info()["blocks_loaded"] == 0
+        stats = service.stats()
+        assert stats["spills"] == 0 and stats["rehydrations"] == 0
+        assert stats["cache_dir"] is None
+
+    def test_stale_spill_artifact_is_ignored(self, tmp_path):
+        service = AnalysisService(capacity=1, cache_dir=tmp_path)
+        service.session("auction")
+        fingerprint = next(iter(service.sessions()))
+        service.session("smallbank")  # evict + spill
+        (tmp_path / f"{fingerprint}.json").write_text("{not json")
+        again = service.session("auction")
+        assert again.cache_info()["blocks_loaded"] == 0
+        assert service.stats()["rehydrations"] == 0
+
+
+class TestCellJobs:
+    """Satellite: GridSpec cell-level fan-out."""
+
+    def test_parallel_grid_payload_identical_to_serial(self):
+        def stripped(result):
+            return [
+                {
+                    key: value
+                    for key, value in cell.to_dict().items()
+                    if key not in ("seconds", "mean_seconds")
+                }
+                for cell in result.cells
+            ]
+
+        serial_service = AnalysisService()
+        parallel_service = AnalysisService()
+        spec = dict(
+            workloads=("smallbank", "auction", "auction(2)"),
+            task="subsets",
+            include_verdicts=True,
+        )
+        serial = serial_service.grid(GridSpec(**spec))
+        parallel = parallel_service.grid(GridSpec(**spec, cell_jobs=4))
+        assert stripped(serial) == stripped(parallel)
+        assert [c.workload for c in parallel.cells] == [c.workload for c in serial.cells]
+
+    def test_cell_jobs_validation(self):
+        with pytest.raises(ProgramError, match="cell_jobs"):
+            GridSpec(workloads=("auction",), cell_jobs=0)
+
+    def test_cell_jobs_through_the_request_layer(self):
+        service = AnalysisService()
+        payload = service.handle(
+            "grid",
+            {
+                "workloads": ["auction"],
+                "settings": ["attr dep"],
+                "cell_jobs": 2,
+            },
+        )
+        assert payload["cells"][0]["workload"] == "Auction"
+
+    def test_experiment_runners_accept_cell_jobs(self):
+        from repro.experiments.figure6 import run_figure6
+        from repro.experiments.table2 import run_table2
+
+        service = AnalysisService()
+        table = run_table2(service=service, cell_jobs=4)
+        assert run_table2(service=service).rows == table.rows
+        figure = run_figure6(service, cell_jobs=4)
+        assert all(cell.matches_paper for cell in figure.cells)

@@ -148,3 +148,66 @@ class TestCli:
         ) == 0
         out = capsys.readouterr().out
         assert "Figure 8" in out and "MISMATCH" not in out
+
+
+class TestWitnessDot:
+    def test_witness_highlighting(self, smallbank_workload):
+        from repro.analysis import Analyzer
+
+        session = Analyzer("smallbank")
+        report = session.analyze(ATTR_DEP_FK)
+        dot = to_dot(report.graph, witness=report.witness)
+        assert "color=red" in dot
+        assert "penwidth=2" in dot
+        assert "dangerous cycle" in dot
+        assert "offending statements:" in dot
+
+    def test_no_witness_no_highlighting(self, auction_workload):
+        dot = to_dot(auction_workload.summary_graph(ATTR_DEP_FK))
+        assert "color=red" not in dot
+
+
+class TestAdviseCli:
+    def test_repaired_workload_exits_zero(self, capsys):
+        assert main(["advise", "smallbank"]) == 0
+        out = capsys.readouterr().out
+        assert "minimal repair" in out
+        assert "verified incrementally" in out
+
+    def test_already_robust_exits_zero(self, capsys):
+        assert main(["advise", "auction", "--setting", "attr dep + FK"]) == 0
+        assert "already robust" in capsys.readouterr().out
+
+    def test_no_repair_within_budget_exits_one(self, capsys):
+        assert main(["advise", "tpcc", "--max-edits", "1"]) == 1
+        assert "no repair within 1" in capsys.readouterr().out
+
+    def test_json_output_and_exit_codes(self, capsys):
+        import json as json_module
+
+        assert main(["advise", "smallbank", "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["repaired"] is True
+        assert payload["repairs"][0]["edits"]
+        assert main(["advise", "tpcc", "--max-edits", "1", "--json"]) == 1
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["repaired"] is False and payload["witness"]
+
+    def test_unknown_workload_exits_two(self, capsys):
+        assert main(["advise", "nope"]) == 2
+
+    def test_graph_witness_flag(self, capsys):
+        assert main(["graph", "smallbank", "--format", "dot", "--witness"]) == 0
+        assert "offending statements:" in capsys.readouterr().out
+        assert main(["graph", "smallbank", "--witness"]) == 0
+        assert "dangerous cycle" in capsys.readouterr().out
+
+    def test_experiments_repairs(self, capsys):
+        assert main(["experiments", "repairs"]) == 0
+        out = capsys.readouterr().out
+        assert "Repairs — minimal edit sets" in out
+        assert "MISMATCH" not in out
+
+    def test_experiments_cell_jobs(self, capsys):
+        assert main(["experiments", "table2", "--cell-jobs", "4"]) == 0
+        assert "ok" in capsys.readouterr().out
