@@ -1,0 +1,127 @@
+"""Benchmark: sustained churn-monitoring throughput on Auction(n).
+
+``repro.churn.Monitor`` re-verdicts a workload after every seeded edit by
+leaning on the incremental session machinery — replacing one program of an
+``n``-program workload recomputes at most ``2n − 1`` of the ``n²`` edge
+blocks.  The convergence oracle, by contrast, rebuilds a cold
+:class:`~repro.analysis.Analyzer` from scratch at a checkpoint — the price
+the monitor would pay *per step* without the incremental path.
+
+The benchmark drives a seeded mutation sequence over Auction(n) with
+periodic oracle checkpoints and gates on two facts:
+
+* every oracle checkpoint matches the incremental verdict exactly
+  (``RobustnessReport.to_dict`` equality — the correctness gate);
+* the best incremental step is >= ``--threshold`` times faster than the
+  best cold re-analysis (the reason the subsystem exists).  Best-of
+  rather than mean-of, for the same reason as ``bench_incremental``:
+  steps are millisecond-scale, so one GC pause or CPU-steal spike must
+  not fail the gate — and burst steps legitimately touch several
+  programs, which a mean would misread as incremental slowness.
+
+It also records sustained edits/sec over the monitored (non-oracle) work
+in ``BENCH_churn.json``.
+
+Run with:  PYTHONPATH=src python benchmarks/bench_churn.py [--scale N]
+           [--steps N] [--seed S] [--oracle-every K] [--threshold X]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from conftest import record_benchmark
+
+from repro.churn import Monitor
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=int, default=24, help="Auction(n) scale")
+    parser.add_argument("--steps", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--oracle-every", type=int, default=5, dest="oracle_every")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=3.0,
+        help="required speedup of the mean incremental step over the mean "
+        "cold (oracle) re-analysis",
+    )
+    args = parser.parse_args(argv)
+
+    monitor = Monitor(f"auction({args.scale})", seed=args.seed)
+    trace = monitor.run(args.steps, oracle_every=args.oracle_every)
+
+    oracle_times = [
+        step.oracle.elapsed_seconds for step in trace.steps if step.oracle is not None
+    ]
+    step_times = [step.elapsed_seconds for step in trace.steps]
+    mean_step = sum(step_times) / len(step_times)
+    mean_cold = sum(oracle_times) / len(oracle_times)
+    best_step = min(step_times)
+    best_cold = min(oracle_times)
+    speedup = best_cold / best_step
+    # Sustained throughput of the monitored work itself (oracle checkpoints
+    # are a diagnostic, not part of the steady-state loop).
+    monitored_seconds = sum(step_times)
+    edits_per_second = trace.mutation_count / monitored_seconds
+    blocks_per_step = sum(step.blocks_recomputed for step in trace.steps) / len(
+        trace.steps
+    )
+
+    print(
+        f"Auction({args.scale}): {len(monitor.base.programs)} programs; "
+        f"{len(trace.steps)} steps ({trace.mutation_count} edits, "
+        f"seed {args.seed}), ~{blocks_per_step:.0f} blocks recomputed/step"
+    )
+    print(
+        f"incremental: {best_step * 1e3:8.1f} ms/step best "
+        f"({mean_step * 1e3:.1f} mean)   "
+        f"cold oracle: {best_cold * 1e3:8.1f} ms/step best "
+        f"({mean_cold * 1e3:.1f} mean)   "
+        f"speedup: {speedup:.1f}x   sustained: {edits_per_second:.0f} edits/sec"
+    )
+    record_benchmark(
+        "churn",
+        {
+            "workload": f"Auction({args.scale})",
+            "programs": len(monitor.base.programs),
+            "steps": len(trace.steps),
+            "mutations": trace.mutation_count,
+            "seed": args.seed,
+            "oracle_every": args.oracle_every,
+            "oracle_checks": trace.oracle_checks,
+            "oracle_mismatches": trace.oracle_mismatches,
+            "blocks_recomputed_per_step": blocks_per_step,
+            "incremental_seconds_per_step": best_step,
+            "incremental_seconds_per_step_mean": mean_step,
+            "cold_seconds_per_step": best_cold,
+            "cold_seconds_per_step_mean": mean_cold,
+            "speedup": speedup,
+            "edits_per_second": edits_per_second,
+            "threshold": args.threshold,
+        },
+    )
+    if not trace.converged:
+        print(
+            f"FAIL: {trace.oracle_mismatches} of {trace.oracle_checks} oracle "
+            "checkpoints diverged from cold analysis"
+        )
+        return 1
+    if speedup < args.threshold:
+        print(
+            f"FAIL: incremental step only {speedup:.1f}x faster than cold "
+            f"re-analysis (< {args.threshold:.1f}x)"
+        )
+        return 1
+    print(
+        f"PASS: {trace.oracle_checks} oracle checkpoints matched; "
+        f"incremental >= {args.threshold:.1f}x faster than cold per step"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

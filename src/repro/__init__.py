@@ -35,6 +35,15 @@ and :mod:`repro.engine` for the multiversion-schedule substrate, and
 
 from repro import workloads
 from repro.analysis import AnalysisMatrix, Analyzer
+from repro.churn import (
+    BurstConfig,
+    ChurnStep,
+    ChurnTrace,
+    Monitor,
+    Mutation,
+    MutationEngine,
+    OracleCheck,
+)
 from repro.btp import (
     BTP,
     FKConstraint,
@@ -87,6 +96,7 @@ from repro.service import (
     GridSpec,
     ServiceError,
     SubsetsRequest,
+    WatchRequest,
 )
 from repro.summary import (
     ALL_SETTINGS,
@@ -107,7 +117,7 @@ from repro.summary import (
 )
 from repro.workloads import Workload
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -120,10 +130,19 @@ __all__ = [
     "SubsetsRequest",
     "GraphRequest",
     "AdviseRequest",
+    "WatchRequest",
     "GridRequest",
     "BatchRequest",
     "GridSpec",
     "ServiceError",
+    # churn monitoring
+    "Monitor",
+    "MutationEngine",
+    "Mutation",
+    "BurstConfig",
+    "ChurnTrace",
+    "ChurnStep",
+    "OracleCheck",
     # the repair advisor
     "RepairReport",
     "RepairSet",

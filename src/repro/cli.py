@@ -18,6 +18,12 @@ Commands:
   against the session's cached edge blocks.  Exit code 0 when the
   workload is already robust or a repair was found, 1 when no repair
   exists within ``--max-edits``;
+* ``watch <workload> [--steps N] [--seed S] [--oracle-every K] [--json]``
+  — monitor the workload under seeded churn: a deterministic
+  :class:`~repro.churn.MutationEngine` edit stream applied incrementally
+  to a warm session, re-verdicting every step; ``--oracle-every K``
+  cross-checks each K-th step against a cold from-scratch analyzer.  Exit
+  code 0 when every oracle checkpoint matched, 1 on any mismatch;
 * ``cache save <workload> <path> [--setting LABEL] [--all-settings]`` /
   ``cache load <path> [--workload W]`` — persist a session's unfoldings and
   pairwise edge blocks to disk and restore them in a fresh process (no edge
@@ -25,10 +31,12 @@ Commands:
 * ``serve [--host H] [--port P] [--capacity N] [--cache-dir DIR]`` — the
   long-running HTTP service: an LRU pool of warm analyzer sessions behind
   ``POST /v1/analyze``, ``/v1/subsets``, ``/v1/graph``, ``/v1/advise``,
-  ``/v1/grid``, ``/v1/batch`` and ``GET /v1/stats``; ``--cache-dir``
-  warms the pool from ``cache save`` artifacts at startup *and* spills
-  LRU-evicted sessions back to the same directory (rehydrated on the next
-  miss — see the ``spills``/``rehydrations`` counters of ``/v1/stats``);
+  ``/v1/watch``, ``/v1/grid``, ``/v1/batch``, ``GET /v1/stats`` and the
+  ``GET /v1/healthz`` readiness probe; shuts down cleanly on Ctrl-C *or*
+  SIGTERM; ``--cache-dir`` warms the pool from ``cache save`` artifacts
+  at startup, spills LRU-evicted sessions back to the same directory
+  (rehydrated on the next miss — see the ``spills``/``rehydrations``
+  counters of ``/v1/stats``), and spills the whole warm pool on shutdown;
 * ``experiments
   <table2|figure6|figure7|figure8|false-negatives|repairs|all>`` —
   regenerate the paper's evaluation artifacts (one shared warm-session
@@ -71,6 +79,7 @@ from repro.service.requests import (
     AnalyzeRequest,
     GraphRequest,
     SubsetsRequest,
+    WatchRequest,
 )
 from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK, AnalysisSettings
 from repro.viz import to_dot, to_text
@@ -197,6 +206,25 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0 if report.repaired else 1
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    service = _service_from(args)
+    request = WatchRequest(
+        workload=args.workload,
+        setting=args.setting,
+        steps=args.steps,
+        seed=args.seed,
+        oracle_every=args.oracle_every,
+    )
+    if args.json:
+        # The same dispatch the HTTP frontend uses — byte-identical payloads.
+        payload = request.payload(service)
+        print(json.dumps(payload, indent=2))
+        return 0 if payload["summary"]["oracle_mismatches"] == 0 else 1
+    trace = service.watch(request)
+    print(trace.describe())
+    return 0 if trace.converged else 1
+
+
 def _cmd_cache_save(args: argparse.Namespace) -> int:
     session = Analyzer(args.workload, jobs=args.jobs, backend=args.backend)
     settings_list = ALL_SETTINGS if args.all_settings else [_settings_from(args.setting)]
@@ -260,11 +288,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     host, port = server.server_address[:2]
     print(
         f"repro service listening on http://{host}:{port} "
-        "(POST /v1/analyze /v1/subsets /v1/graph /v1/grid /v1/batch, "
-        "GET /v1/stats; Ctrl-C to stop)",
+        "(POST /v1/analyze /v1/subsets /v1/graph /v1/advise /v1/watch "
+        "/v1/grid /v1/batch, GET /v1/stats /v1/healthz; "
+        "Ctrl-C or SIGTERM to stop)",
         flush=True,
     )
-    run_server(server)
+    run_server(server, handle_sigterm=True)
+    # Clean shutdown (Ctrl-C or SIGTERM): spill the warm pool so the next
+    # `repro serve --cache-dir` starts where this one stopped.
+    if args.cache_dir:
+        saved = service.save_to_cache_dir(args.cache_dir)
+        print(f"spilled {len(saved)} warm session(s) to {args.cache_dir}")
     return 0
 
 
@@ -363,6 +397,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_json_argument(advise)
     _add_jobs_argument(advise)
     advise.set_defaults(func=_cmd_advise)
+
+    watch = subparsers.add_parser(
+        "watch", help="monitor a workload under seeded churn"
+    )
+    watch.add_argument("workload")
+    watch.add_argument(
+        "--steps",
+        type=int,
+        default=50,
+        metavar="N",
+        help="number of seeded edit steps to monitor (default: 50)",
+    )
+    watch.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="mutation-engine seed; the same (workload, seed) replays the "
+        "identical edit sequence (default: 0)",
+    )
+    watch.add_argument(
+        "--oracle-every",
+        type=int,
+        default=0,
+        dest="oracle_every",
+        metavar="K",
+        help="cross-check every K-th step against a cold from-scratch "
+        "analyzer (default: 0 = never); exit code 1 on any mismatch",
+    )
+    _add_setting_argument(watch)
+    _add_json_argument(watch)
+    _add_jobs_argument(watch)
+    watch.set_defaults(func=_cmd_watch)
 
     cache = subparsers.add_parser(
         "cache", help="persist and restore session caches (edge blocks)"

@@ -52,24 +52,33 @@ _KIND_ORDER = {
 }
 
 
-def _map_statement(node: ProgramNode, name: str, transform) -> ProgramNode:
-    """Rewrite the single statement ``name`` inside an AST via ``transform``."""
+def map_statement(node: ProgramNode, name: str, transform) -> ProgramNode:
+    """Rewrite the single statement ``name`` inside an AST via ``transform``.
+
+    The one AST-rewriting primitive shared by the repair catalog and the
+    churn mutation catalog (:mod:`repro.churn.mutations`); a name that does
+    not occur leaves the tree unchanged, so callers check existence first.
+    """
     if isinstance(node, Stmt):
         if node.statement.name == name:
             return Stmt(transform(node.statement))
         return node
     if isinstance(node, Seq):
-        return Seq(tuple(_map_statement(part, name, transform) for part in node.parts))
+        return Seq(tuple(map_statement(part, name, transform) for part in node.parts))
     if isinstance(node, Choice):
         return Choice(
-            _map_statement(node.left, name, transform),
-            _map_statement(node.right, name, transform),
+            map_statement(node.left, name, transform),
+            map_statement(node.right, name, transform),
         )
     if isinstance(node, Opt):
-        return Opt(_map_statement(node.body, name, transform))
+        return Opt(map_statement(node.body, name, transform))
     if isinstance(node, Loop):
-        return Loop(_map_statement(node.body, name, transform))
+        return Loop(map_statement(node.body, name, transform))
     raise ProgramError(f"unknown node type {type(node).__name__}")
+
+
+#: Backwards-compatible alias (the helper predates the public name).
+_map_statement = map_statement
 
 
 @dataclass(frozen=True)
@@ -138,7 +147,7 @@ class PromotePredicateToKey(Repair):
             )
 
         return (
-            BTP(btp.name, _map_statement(btp.root, self.statement, transform), btp.constraints),
+            BTP(btp.name, map_statement(btp.root, self.statement, transform), btp.constraints),
         )
 
     def describe(self) -> str:
@@ -189,7 +198,7 @@ class PromoteReadToUpdate(Repair):
             )
 
         return (
-            BTP(btp.name, _map_statement(btp.root, self.statement, transform), btp.constraints),
+            BTP(btp.name, map_statement(btp.root, self.statement, transform), btp.constraints),
         )
 
     def describe(self) -> str:

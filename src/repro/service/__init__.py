@@ -10,26 +10,28 @@ Three layers, each usable on its own:
   bounded pool keeps its warm state across the LRU boundary;
 * the typed request layer — :class:`AnalyzeRequest`,
   :class:`SubsetsRequest`, :class:`GraphRequest`, :class:`AdviseRequest`,
-  :class:`GridRequest`, :class:`BatchRequest`, validating JSON-shaped
-  mappings without argparse and answering with the exact CLI ``--json``
-  payloads (errors become the :class:`ServiceError` envelope, carrying the
-  CLI's exit-code-2 semantics);
+  :class:`WatchRequest`, :class:`GridRequest`, :class:`BatchRequest`,
+  validating JSON-shaped mappings without argparse and answering with the
+  exact CLI ``--json`` payloads (errors become the :class:`ServiceError`
+  envelope, carrying the CLI's exit-code-2 semantics);
 * the Grid API — :class:`GridSpec` sweeps (workload × settings × scale,
   per-cell timing, ``cell_jobs=`` worker-pool fan-out over independent
   cells) that the :mod:`repro.experiments` modules ride, so the paper's
   evaluation grids share warm block caches and the process backend;
 * the stdlib HTTP frontend — ``repro serve`` /
   :func:`repro.service.http.serve`, exposing ``POST /v1/analyze`` /
-  ``/v1/subsets`` / ``/v1/graph`` / ``/v1/advise`` / ``/v1/grid`` /
-  ``/v1/batch`` and ``GET /v1/stats`` over
-  :class:`~http.server.ThreadingHTTPServer`.
+  ``/v1/subsets`` / ``/v1/graph`` / ``/v1/advise`` / ``/v1/watch`` /
+  ``/v1/grid`` / ``/v1/batch`` plus ``GET /v1/stats`` and
+  ``GET /v1/healthz`` over :class:`~http.server.ThreadingHTTPServer`,
+  with clean SIGTERM shutdown in the ``repro serve`` process.
 """
 
 from repro.service.core import AnalysisService
 from repro.service.grid import TASKS, GridCell, GridResult, GridSpec, run_grid
-from repro.service.http import ServiceHTTPServer, make_server, serve
+from repro.service.http import ServiceHTTPServer, make_server, run_server, serve
 from repro.service.requests import (
     MAX_BATCH_ITEMS,
+    MAX_WATCH_STEPS,
     REQUEST_KINDS,
     AdviseRequest,
     AnalyzeRequest,
@@ -38,6 +40,7 @@ from repro.service.requests import (
     GridRequest,
     ServiceError,
     SubsetsRequest,
+    WatchRequest,
     parse_request,
 )
 
@@ -47,9 +50,11 @@ __all__ = [
     "SubsetsRequest",
     "GraphRequest",
     "AdviseRequest",
+    "WatchRequest",
     "GridRequest",
     "BatchRequest",
     "MAX_BATCH_ITEMS",
+    "MAX_WATCH_STEPS",
     "ServiceError",
     "REQUEST_KINDS",
     "parse_request",
@@ -60,5 +65,6 @@ __all__ = [
     "TASKS",
     "ServiceHTTPServer",
     "make_server",
+    "run_server",
     "serve",
 ]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
@@ -39,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.session import AnalysisMatrix
     from repro.detection.api import RobustnessReport
     from repro.detection.subsets import SubsetsReport
+    from repro.churn.monitor import ChurnTrace
     from repro.service.requests import (
         AdviseRequest,
         AnalyzeRequest,
@@ -46,6 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         GraphRequest,
         GridRequest,
         SubsetsRequest,
+        WatchRequest,
     )
 
 
@@ -96,11 +99,16 @@ class AnalysisService:
         #: File paths and raw text are never memoized (files change on disk).
         self._fingerprint_memo: dict[str, str] = {}
         self._lock = threading.Lock()
+        self._started_at = time.time()
         self._requests = 0
         self._pool_hits = 0
         self._pool_misses = 0
         self._spills = 0
         self._rehydrations = 0
+        self._watch_runs = 0
+        self._watch_steps = 0
+        self._watch_oracle_checks = 0
+        self._watch_oracle_mismatches = 0
 
     # -- session pool --------------------------------------------------------
     def fresh_session(
@@ -328,6 +336,19 @@ class AnalysisService:
         (a :class:`repro.repair.RepairReport`)."""
         return request.execute(self)
 
+    def watch(self, request: "WatchRequest") -> "ChurnTrace":
+        """Monitor a workload under seeded churn against a fork of its
+        pooled session (a :class:`repro.churn.ChurnTrace`)."""
+        return request.execute(self)
+
+    def record_watch(self, trace: "ChurnTrace") -> None:
+        """Fold one finished watch run into the service's counters."""
+        with self._lock:
+            self._watch_runs += 1
+            self._watch_steps += len(trace.steps)
+            self._watch_oracle_checks += trace.oracle_checks
+            self._watch_oracle_mismatches += trace.oracle_mismatches
+
     def grid(self, spec: "GridSpec | GridRequest") -> GridResult:
         if not isinstance(spec, GridSpec):
             spec = spec.spec()
@@ -368,6 +389,12 @@ class AnalysisService:
             misses = self._pool_misses
             spills = self._spills
             rehydrations = self._rehydrations
+            watch = {
+                "runs": self._watch_runs,
+                "steps": self._watch_steps,
+                "oracle_checks": self._watch_oracle_checks,
+                "oracle_mismatches": self._watch_oracle_mismatches,
+            }
         return {
             "version": __version__,
             "capacity": self.capacity,
@@ -380,6 +407,7 @@ class AnalysisService:
             "pool_misses": misses,
             "spills": spills,
             "rehydrations": rehydrations,
+            "watch": watch,
             "sessions": [
                 {
                     "fingerprint": fingerprint,
@@ -389,6 +417,27 @@ class AnalysisService:
                 }
                 for fingerprint, session in pool
             ],
+        }
+
+    def healthz(self) -> dict[str, Any]:
+        """Cheap readiness probe (the ``/v1/healthz`` body).
+
+        Unlike :meth:`stats` it touches no session — no ``cache_info``
+        calls, no per-session locks — so it stays O(1) however large the
+        pool or however busy the sessions.
+        """
+        from repro import __version__  # deferred: repro/__init__ imports us
+
+        with self._lock:
+            sessions_warm = len(self._pool)
+            watch_runs = self._watch_runs
+        return {
+            "status": "ok",
+            "version": __version__,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "capacity": self.capacity,
+            "sessions_warm": sessions_warm,
+            "watch_runs": watch_runs,
         }
 
     def __repr__(self) -> str:

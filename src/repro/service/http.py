@@ -5,11 +5,13 @@ A :class:`ThreadingHTTPServer` over one shared
 just ``http.server``.  Routes:
 
 * ``POST /v1/analyze`` / ``/v1/subsets`` / ``/v1/graph`` / ``/v1/advise``
-  / ``/v1/grid`` / ``/v1/batch`` — a JSON request body dispatched through
-  :meth:`AnalysisService.handle`; the response body is byte-identical to
-  the corresponding CLI ``--json`` output (same dispatch, same
-  serialization, same trailing newline);
-* ``GET /v1/stats`` — pool and per-session ``cache_info()`` counters.
+  / ``/v1/watch`` / ``/v1/grid`` / ``/v1/batch`` — a JSON request body
+  dispatched through :meth:`AnalysisService.handle`; the response body is
+  byte-identical to the corresponding CLI ``--json`` output (same
+  dispatch, same serialization, same trailing newline);
+* ``GET /v1/stats`` — pool and per-session ``cache_info()`` counters;
+* ``GET /v1/healthz`` — cheap readiness probe (uptime, pool capacity,
+  sessions warm) that touches no session.
 
 Malformed bodies, unknown routes and analysis failures answer with the
 :class:`~repro.service.requests.ServiceError` envelope (HTTP 400/404) —
@@ -21,6 +23,8 @@ session-level locking (PR 4) makes safe.
 from __future__ import annotations
 
 import json
+import signal
+import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -112,9 +116,12 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         try:
             if self.path == API_PREFIX + "stats":
                 self._respond(200, self.server.service.stats())
+            elif self.path == API_PREFIX + "healthz":
+                self._respond(200, self.server.service.healthz())
             else:
                 raise ServiceError(
-                    f"unknown path {self.path!r}; GET {API_PREFIX}stats",
+                    f"unknown path {self.path!r}; GET {API_PREFIX}stats "
+                    f"or {API_PREFIX}healthz",
                     kind="not_found",
                     status=404,
                 )
@@ -150,15 +157,38 @@ def make_server(
     return ServiceHTTPServer((host, port), service, quiet=quiet)
 
 
-def run_server(server: ServiceHTTPServer) -> None:
+def run_server(server: ServiceHTTPServer, *, handle_sigterm: bool = False) -> None:
     """Serve a pre-bound server until interrupted, then close it — the one
     shutdown path shared by :func:`serve` and the ``repro serve`` command
-    (which binds first so it can print the actual port)."""
+    (which binds first so it can print the actual port).
+
+    With ``handle_sigterm=True`` (the ``repro serve`` process), SIGTERM is
+    translated into the same clean shutdown as Ctrl-C, so a supervisor's
+    stop signal closes the listening socket — and lets the caller spill
+    warm sessions — instead of killing mid-request.  The handler can only
+    be installed from the main thread (a CPython restriction); elsewhere
+    the flag is ignored, which is exactly right for test servers running
+    on daemon threads.
+    """
+    previous = None
+    installed = False
+    if handle_sigterm and threading.current_thread() is threading.main_thread():
+        def _terminate(signum: int, frame: Any) -> None:
+            # Re-raising as KeyboardInterrupt unwinds serve_forever() on
+            # this (main) thread; calling server.shutdown() here would
+            # deadlock, since shutdown() waits for the serving loop we
+            # interrupted.
+            raise KeyboardInterrupt
+
+        previous = signal.signal(signal.SIGTERM, _terminate)
+        installed = True
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
+        if installed:
+            signal.signal(signal.SIGTERM, previous)
         server.server_close()
 
 

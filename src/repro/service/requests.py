@@ -348,6 +348,75 @@ class GridRequest:
         return self.execute(service).to_dict()
 
 
+#: Hard cap on steps per watch request: a watch run holds its forked
+#: session for the whole edit sequence, so an unbounded ``steps`` would
+#: let one request occupy the service indefinitely.
+MAX_WATCH_STEPS = 10_000
+
+
+@dataclass(frozen=True)
+class WatchRequest:
+    """``repro watch`` / ``POST /v1/watch``: monitor a workload under
+    seeded churn (a :class:`repro.churn.ChurnTrace`).
+
+    The run operates on a *fork* of the pooled session — the warm edge
+    blocks are shared copy-on-write via ``seed_from``, but the pooled
+    original is never mutated, so concurrent requests against the same
+    workload keep seeing the un-churned fingerprint.
+    """
+
+    workload: str
+    setting: str | None = None
+    steps: int = 50
+    seed: int = 0
+    oracle_every: int = 0
+
+    kind = "watch"
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "WatchRequest":
+        data = _require_mapping(data, f"a {cls.kind} request")
+        _reject_unknown_keys(
+            data, ("workload", "setting", "steps", "seed", "oracle_every"), cls.kind
+        )
+        steps = _int(data, "steps", cls.kind, 50)
+        if not 1 <= steps <= MAX_WATCH_STEPS:
+            raise ServiceError(
+                f"{cls.kind} request: field 'steps' must be within "
+                f"1..{MAX_WATCH_STEPS}, got {steps}"
+            )
+        oracle_every = _int(data, "oracle_every", cls.kind, 0)
+        if oracle_every < 0:
+            raise ServiceError(
+                f"{cls.kind} request: field 'oracle_every' must be >= 0, "
+                f"got {oracle_every}"
+            )
+        return cls(
+            workload=_string(data, "workload", cls.kind, required=True),
+            setting=_string(data, "setting", cls.kind),
+            steps=steps,
+            seed=_int(data, "seed", cls.kind, 0),
+            oracle_every=oracle_every,
+        )
+
+    def execute(self, service: "AnalysisService"):
+        from repro.churn.monitor import Monitor
+
+        fork = service.session(self.workload).fork()
+        monitor = Monitor(
+            session=fork,
+            setting=_settings(self.setting, self.kind),
+            seed=self.seed,
+            source_hint=self.workload,
+        )
+        trace = monitor.run(self.steps, oracle_every=self.oracle_every)
+        service.record_watch(trace)
+        return trace
+
+    def payload(self, service: "AnalysisService") -> dict[str, Any]:
+        return self.execute(service).to_dict()
+
+
 #: Hard cap on items per batch request: a single oversized batch would
 #: otherwise monopolize the pool for an unbounded stretch (and serve as a
 #: trivial request-amplification vector).
@@ -414,6 +483,7 @@ REQUEST_KINDS: dict[str, Any] = {
     SubsetsRequest.kind: SubsetsRequest,
     GraphRequest.kind: GraphRequest,
     AdviseRequest.kind: AdviseRequest,
+    WatchRequest.kind: WatchRequest,
     GridRequest.kind: GridRequest,
     BatchRequest.kind: BatchRequest,
 }

@@ -50,6 +50,7 @@ The block structure is what enables
 from __future__ import annotations
 
 import os
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Iterable, NamedTuple, Sequence
 
@@ -70,6 +71,10 @@ from repro.summary.tables import (
 
 #: The supported block-construction backends (``jobs > 1`` fan-out).
 BACKENDS = ("thread", "process")
+
+#: One warning per process for the process→serial auto-degrade below;
+#: repeated block builds should not spam stderr.
+_PROCESS_DEGRADE_WARNED = False
 
 
 class BlockSummary(NamedTuple):
@@ -686,6 +691,24 @@ class EdgeBlockStore:
                 f"unknown block-construction backend {backend!r}; "
                 f"expected one of {BACKENDS}"
             )
+        if backend == "process" and (os.cpu_count() or 1) <= 2:
+            # Process fan-out loses to serial without real cores to fan
+            # out over (fork + profile pickling overhead, nothing gained
+            # — BENCH_kernel.json records the process backend losing on
+            # the 1-core CI host), so degrade to the serial path rather
+            # than honor a configuration that can only be slower.
+            global _PROCESS_DEGRADE_WARNED
+            if not _PROCESS_DEGRADE_WARNED:
+                _PROCESS_DEGRADE_WARNED = True
+                warnings.warn(
+                    f"backend='process' degraded to serial block "
+                    f"construction: only {os.cpu_count() or 1} CPU core(s) "
+                    "available",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            backend = "thread"
+            workers = 1
         if workers is None and backend == "process":
             # Asking for the process backend *is* asking for multi-core
             # fan-out; without an explicit jobs= it would otherwise fall

@@ -384,3 +384,77 @@ class TestDiscardIndex:
             cold.load_block(source, target, edges)
         cold.discard([ltps_[0].name])
         assert cold.cache_info()["blocks"] == (len(ltps_) - 1) ** 2
+
+
+class TestProcessBackendDegrade:
+    """PR 6 satellite: backend='process' degrades to serial on hosts with
+    <= 2 cores, with exactly one RuntimeWarning per process."""
+
+    @pytest.fixture(autouse=True)
+    def _reset_warned_flag(self, monkeypatch):
+        import repro.summary.pairwise as pairwise
+
+        monkeypatch.setattr(pairwise, "_PROCESS_DEGRADE_WARNED", False)
+        yield
+
+    def _store_with_cores(self, monkeypatch, cores: int) -> EdgeBlockStore:
+        import repro.summary.pairwise as pairwise
+
+        monkeypatch.setattr(pairwise.os, "cpu_count", lambda: cores)
+        workload = smallbank()
+        store = EdgeBlockStore(
+            workload.schema, ATTR_DEP_FK, jobs=2, backend="process"
+        )
+        return store, unfold(workload.programs, 2)
+
+    @pytest.mark.parametrize("cores", [1, 2])
+    def test_few_cores_degrade_with_one_warning(self, monkeypatch, cores):
+        import warnings as warnings_module
+
+        store, ltps_ = self._store_with_cores(monkeypatch, cores)
+        store.register(ltps_)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            store.ensure_blocks()  # blocks build lazily; trigger them here
+        degrade = [
+            w for w in caught if "degraded to serial" in str(w.message)
+        ]
+        assert len(degrade) == 1
+        assert issubclass(degrade[0].category, RuntimeWarning)
+        # Degraded blocks are the serial blocks.
+        workload = smallbank()
+        serial = EdgeBlockStore(workload.schema, ATTR_DEP_FK)
+        serial.register(unfold(workload.programs, 2))
+        assert store.graph().edges == serial.graph().edges
+
+    def test_warning_fires_once_per_process(self, monkeypatch):
+        import warnings as warnings_module
+
+        store, ltps_ = self._store_with_cores(monkeypatch, 1)
+        store.register(ltps_)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            store.ensure_blocks()
+            store.discard([ltps_[0].name])
+            store.register(unfold(smallbank().programs, 2)[:1])
+            store.ensure_blocks()  # second build, no repeat warning
+        degrade = [
+            w for w in caught if "degraded to serial" in str(w.message)
+        ]
+        assert len(degrade) == 1
+
+    def test_enough_cores_do_not_degrade(self, monkeypatch):
+        import warnings as warnings_module
+
+        store, ltps_ = self._store_with_cores(monkeypatch, 4)
+        store.register(ltps_)
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            store.ensure_blocks()
+        assert not [
+            w for w in caught if "degraded to serial" in str(w.message)
+        ]
+        workload = smallbank()
+        serial = EdgeBlockStore(workload.schema, ATTR_DEP_FK)
+        serial.register(unfold(workload.programs, 2))
+        assert store.graph().edges == serial.graph().edges

@@ -740,3 +740,167 @@ class TestCellJobs:
         assert run_table2(service=service).rows == table.rows
         figure = run_figure6(service, cell_jobs=4)
         assert all(cell.matches_paper for cell in figure.cells)
+
+
+# ---------------------------------------------------------------------------
+# PR 6: the watch endpoint, healthz, SIGTERM shutdown
+# ---------------------------------------------------------------------------
+
+class TestWatchRequests:
+    def test_watch_payload_matches_monitor_canonically(self):
+        from repro.churn import Monitor
+        from repro.churn.monitor import ChurnTrace
+
+        service = AnalysisService()
+        payload = service.handle(
+            "watch", {"workload": "smallbank", "steps": 6, "seed": 3,
+                      "oracle_every": 3}
+        )
+        direct = Monitor("smallbank", seed=3).run(6, oracle_every=3)
+        # Wall-clock fields differ between runs; everything else is equal.
+        assert (
+            ChurnTrace.from_dict(payload).canonical_json()
+            == direct.canonical_json()
+        )
+
+    def test_watch_records_counters(self):
+        service = AnalysisService()
+        service.handle(
+            "watch", {"workload": "smallbank", "steps": 4, "oracle_every": 2}
+        )
+        service.handle("watch", {"workload": "smallbank", "steps": 3})
+        stats = service.stats()
+        assert stats["watch"] == {
+            "runs": 2,
+            "steps": 7,
+            "oracle_checks": 2,
+            "oracle_mismatches": 0,
+        }
+
+    def test_watch_does_not_mutate_the_pooled_session(self):
+        service = AnalysisService()
+        before = service.session("smallbank").program_names
+        service.handle("watch", {"workload": "smallbank", "steps": 10, "seed": 1})
+        pooled = service.session("smallbank")
+        assert pooled.program_names == before
+        # The pool still holds exactly the un-churned fingerprint.
+        assert len(service.sessions()) == 1
+
+    @pytest.mark.parametrize(
+        "body, fragment",
+        [
+            ({}, "missing required field"),
+            ({"workload": "smallbank", "steps": 0}, "steps"),
+            ({"workload": "smallbank", "steps": 10_001}, "steps"),
+            ({"workload": "smallbank", "oracle_every": -1}, "oracle_every"),
+            ({"workload": "smallbank", "seed": "x"}, "integer"),
+            ({"workload": "smallbank", "junk": 1}, "unknown field"),
+        ],
+    )
+    def test_watch_validation(self, body, fragment):
+        service = AnalysisService()
+        with pytest.raises(ServiceError, match=fragment):
+            service.handle("watch", body)
+
+    def test_http_watch_matches_cli_watch(self, http_server, capsys):
+        from repro.churn.monitor import ChurnTrace
+
+        args = ["watch", "smallbank", "--steps", "5", "--seed", "11",
+                "--oracle-every", "5", "--json"]
+        assert cli_main(args) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+        status, body = _post(
+            http_server,
+            "/v1/watch",
+            {"workload": "smallbank", "steps": 5, "seed": 11, "oracle_every": 5},
+        )
+        assert status == 200
+        http_payload = json.loads(body)
+        # Same dispatch, same shape; wall-clock timings differ run to run,
+        # so parity is at the canonical (timing-stripped) level.
+        assert (
+            ChurnTrace.from_dict(http_payload).canonical_json()
+            == ChurnTrace.from_dict(cli_payload).canonical_json()
+        )
+
+    def test_cli_watch_human_output(self, capsys):
+        assert cli_main(["watch", "smallbank", "--steps", "3", "--seed", "2",
+                         "--oracle-every", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "watched 3 steps" in out
+        assert "oracle: ok" in out
+
+
+class TestHealthz:
+    def test_healthz_shape(self):
+        from repro import __version__
+
+        service = AnalysisService(capacity=3)
+        probe = service.healthz()
+        assert probe["status"] == "ok"
+        assert probe["version"] == __version__
+        assert probe["uptime_seconds"] >= 0
+        assert probe["capacity"] == 3
+        assert probe["sessions_warm"] == 0
+        assert probe["watch_runs"] == 0
+        service.session("smallbank")
+        assert service.healthz()["sessions_warm"] == 1
+
+    def test_healthz_endpoint(self, http_server):
+        status, body = _get(http_server, "/v1/healthz")
+        assert status == 200
+        probe = json.loads(body)
+        assert probe["status"] == "ok"
+        assert probe["capacity"] == 8
+
+    def test_get_unknown_route_lists_both_probes(self, http_server):
+        status, body = _get(http_server, "/v1/bogus")
+        assert status == 404
+        message = json.loads(body)["error"]["message"]
+        assert "stats" in message and "healthz" in message
+
+
+class TestServeShutdown:
+    def test_sigterm_shuts_the_server_down_cleanly(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        cache_dir = tmp_path / "spill"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--cache-dir", str(cache_dir)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "listening" in line
+            # Warm one session through the live server, so shutdown has
+            # something to spill.
+            port = int(line.split("http://")[1].split()[0].rsplit(":", 1)[1])
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/analyze",
+                data=json.dumps({"workload": "smallbank"}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(request) as response:
+                assert response.status == 200
+            process.send_signal(signal.SIGTERM)
+            deadline = time.time() + 10
+            while process.poll() is None and time.time() < deadline:
+                time.sleep(0.05)
+            assert process.poll() == 0, "serve did not exit cleanly on SIGTERM"
+            remaining = process.stdout.read()
+            assert "spilled 1 warm session(s)" in remaining
+            assert list(cache_dir.glob("*.json"))
+        finally:
+            if process.poll() is None:
+                process.kill()
