@@ -51,7 +51,7 @@ from repro.errors import ProgramError
 from repro.schema import Schema
 from repro.summary.fingerprint import schema_fingerprint, workload_fingerprint
 from repro.summary.graph import SummaryEdge, SummaryGraph
-from repro.summary.pairwise import EdgeBlockStore
+from repro.summary.pairwise import EdgeBlockStore, ProcessDegradeGuard
 from repro.summary.settings import ALL_SETTINGS, AnalysisSettings
 from repro.workloads.base import Workload, WorkloadSource
 
@@ -179,6 +179,10 @@ class Analyzer:
         elif isinstance(source, str) and "\n" not in source:
             self._source_hint = source
         self._ltps_by_program: dict[str, tuple[LTP, ...]] = {}
+        # One degrade guard shared by every per-settings store: the
+        # process→serial auto-degrade warns once per Analyzer, not once
+        # per settings row, and the cpu_count probe happens once.
+        self._degrade_guard = ProcessDegradeGuard()
         self._stores: dict[AnalysisSettings, EdgeBlockStore] = {}
         self._graphs: dict[tuple[AnalysisSettings, frozenset[str]], SummaryGraph] = {}
         self._reports: dict[tuple[AnalysisSettings, frozenset[str]], RobustnessReport] = {}
@@ -249,7 +253,11 @@ class Analyzer:
             store = self._stores.get(settings)
             if store is None:
                 store = EdgeBlockStore(
-                    self.schema, settings, jobs=self.jobs, backend=self.backend
+                    self.schema,
+                    settings,
+                    jobs=self.jobs,
+                    backend=self.backend,
+                    degrade_guard=self._degrade_guard,
                 )
                 self._stores[settings] = store
             return store

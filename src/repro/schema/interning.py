@@ -97,6 +97,21 @@ class AttributeInterner:
         return bit
 
     # -- lookups ------------------------------------------------------------
+    @property
+    def attr_bit_count(self) -> int:
+        """Bits assigned to attributes so far (grows with lazy interning).
+
+        The plane arena of :mod:`repro.summary.planes` sizes its mask slots
+        from this; a batch that outgrows its arena's width triggers a
+        repack into a wider one.
+        """
+        return self._next_bit
+
+    @property
+    def fk_bit_count(self) -> int:
+        """Bits assigned to foreign-key names so far."""
+        return len(self._fk_bits)
+
     def relation_id(self, relation: str) -> int:
         """A dense integer id for a relation name (assigned on first use)."""
         self._relation_table(relation)

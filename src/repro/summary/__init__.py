@@ -9,6 +9,7 @@ foreign-key conditions ``ncDepConds`` and ``cDepConds``.
 """
 
 from repro.summary.construct import build_summary_graph, construct_summary_graph
+from repro.summary.planes import PlaneArena, resolve_kernel, sweep_blocks
 from repro.summary.fingerprint import (
     program_fingerprint,
     schema_fingerprint,
@@ -50,6 +51,9 @@ __all__ = [
     "pair_edges_reference",
     "compile_profile",
     "ProgramProfile",
+    "PlaneArena",
+    "resolve_kernel",
+    "sweep_blocks",
     "AnalysisSettings",
     "Granularity",
     "TPL_DEP",

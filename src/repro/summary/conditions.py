@@ -7,6 +7,17 @@ rw-antidependencies can be counterflow (Lemma 4.1), and a key-based read
 can be "rescued" by foreign keys — if both programs write the referenced
 tuple *before* the conflicting statements, a counterflow dependency would
 imply a dirty write, which MVRC forbids (see the proof of Proposition 6.3).
+
+This module is the *scalar* formulation (statement-level predicates and
+their mask counterparts).  The batch kernel of
+:mod:`repro.summary.planes` evaluates algebraically collapsed forms of
+the same conditions over packed mask planes::
+
+    ncDepConds = (w_i ∧ (w|r|p)_j) ∨ ((r|p)_i ∧ w_j)
+    cDepConds  = (rpw ∧ ¬blocked) ∨ (pw ∧ blocked),  rpw = (r|p)_i ∧ w_j
+
+for whole occurrence-pair batches at once; parity with the functions here
+is property-tested edge-for-edge.
 """
 
 from __future__ import annotations

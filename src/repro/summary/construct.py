@@ -12,9 +12,11 @@ The construction itself lives in :mod:`repro.summary.pairwise`: edges are
 computed per ordered pair of programs (:func:`~repro.summary.pairwise.pair_edges`)
 and concatenated, which is what lets the
 :class:`~repro.summary.pairwise.EdgeBlockStore` cache, parallelize, and
-incrementally recompute blocks.  :func:`construct_summary_graph` is the
-classic monolithic entry point, kept as a thin wrapper with edge-for-edge
-identical output.
+incrementally recompute blocks.  Since the plane-packed batch kernel
+(:mod:`repro.summary.planes`), the store computes whole pair batches per
+sweep rather than looping pair by pair.  :func:`construct_summary_graph`
+is the classic monolithic entry point, kept as a thin wrapper with
+edge-for-edge identical output.
 """
 
 from __future__ import annotations

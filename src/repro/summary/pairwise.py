@@ -9,8 +9,8 @@ subset ``𝒫' ⊆ 𝒫`` is assembled by concatenating the cached blocks of its
 ordered pairs — edge-for-edge identical to running the monolithic loop of
 :func:`repro.summary.construct.construct_summary_graph` over ``𝒫'``.
 
-The hot path runs on a **compiled interference kernel** instead of the
-object-heavy statement representation:
+The hot path runs on a **plane-packed batch kernel**
+(:mod:`repro.summary.planes`) instead of per-pair Python loops:
 
 * each LTP is compiled once, at :meth:`EdgeBlockStore.register` time, to a
   flat :class:`ProgramProfile` — per occurrence: statement name, position,
@@ -19,15 +19,24 @@ object-heavy statement representation:
   ``protecting_fks`` foreign-key mask precomputed *once per position*
   (the frozenset path rescans the program's constraint instances for every
   occurrence pair of every ordered pair);
-* :func:`_pair_block` then decides ``ncDepConds``/``cDepConds`` with plain
-  integer ANDs and the Table 1 dispatch pre-resolved per type-id pair
-  (:data:`~repro.summary.tables.NC_DEP_ROWS` /
-  :data:`~repro.summary.tables.C_DEP_ROWS`);
-* profiles are built from plain tuples, dicts and ints — picklable by
-  construction — so ``backend="process"`` can fan blocks out to a
-  ``ProcessPoolExecutor`` (real multi-core construction; the thread
-  backend remains the default and the two install edge-for-edge identical
-  blocks).
+* profiles' masks are packed into the store's contiguous
+  :class:`~repro.summary.planes.PlaneArena`; missing blocks are grouped
+  into cross-product **sweeps** and ``ncDepConds``/``cDepConds`` are
+  evaluated for whole occurrence-pair batches at once — elementwise
+  AND/compare passes over the planes (numpy when importable, a stdlib
+  big-int path otherwise) that emit per-block packed coordinates instead
+  of per-pair edge tuples.  Blocks stay packed until something asks for
+  their :class:`~repro.summary.graph.SummaryEdge` tuples;
+* ``backend="process"`` fans sweep *row ranges* out to a persistent
+  ``ProcessPoolExecutor``: workers map the arena's planes zero-copy from
+  ``multiprocessing.shared_memory`` (no profile pickling) and write dense
+  bitset rows into a preallocated shared output plane, so results are
+  deterministic and edge-for-edge identical to serial construction.
+
+:func:`_pair_block` keeps the PR 3 scalar kernel — plain integer ANDs with
+the Table 1 dispatch pre-resolved per type-id pair — as the one-shot path
+of :func:`pair_edges` and the baseline `benchmarks/bench_kernel.py`
+measures the batch kernel against.
 
 :func:`pair_edges_reference` keeps the original frozenset formulation as an
 executable specification; parity between the two is property-tested on
@@ -51,13 +60,15 @@ from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import weakref
+from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, NamedTuple, Sequence
 
 from repro.btp.ltp import LTP
 from repro.btp.statement import READ_TRIGGER_TYPES, Statement
 from repro.errors import ProgramError
 from repro.schema import Schema
+from repro.summary import planes
 from repro.summary.conditions import c_dep_conds, nc_dep_conds, protecting_fks
 from repro.summary.graph import SummaryEdge, SummaryGraph
 from repro.summary.settings import AnalysisSettings, Granularity
@@ -72,9 +83,45 @@ from repro.summary.tables import (
 #: The supported block-construction backends (``jobs > 1`` fan-out).
 BACKENDS = ("thread", "process")
 
-#: One warning per process for the process→serial auto-degrade below;
-#: repeated block builds should not spam stderr.
-_PROCESS_DEGRADE_WARNED = False
+
+class ProcessDegradeGuard:
+    """Per-owner state for the process→serial auto-degrade.
+
+    Process fan-out loses to serial without real cores to fan out over, so
+    ``backend="process"`` degrades on hosts with ≤ 2 cores.  The guard
+    caches the ``os.cpu_count()`` probe and rate-limits the degrade
+    warning to **one per owner**: an :class:`~repro.analysis.Analyzer`
+    shares a single guard across all its per-settings stores, a standalone
+    store owns its own — repeated block builds must not spam stderr.
+    """
+
+    __slots__ = ("_cpu_count", "_warned")
+
+    def __init__(self) -> None:
+        self._cpu_count: int | None = None
+        self._warned = False
+
+    def cpu_count(self) -> int:
+        """The machine's core count, probed once per guard."""
+        if self._cpu_count is None:
+            self._cpu_count = os.cpu_count() or 1
+        return self._cpu_count
+
+    def warn_degraded(self) -> None:
+        if self._warned:
+            return
+        self._warned = True
+        warnings.warn(
+            f"backend='process' degraded to serial block "
+            f"construction: only {self.cpu_count()} CPU core(s) "
+            "available",
+            RuntimeWarning,
+            stacklevel=5,
+        )
+
+
+def _shutdown_executor(pool: ProcessPoolExecutor) -> None:
+    pool.shutdown(wait=False, cancel_futures=True)
 
 
 class BlockSummary(NamedTuple):
@@ -228,41 +275,6 @@ def _pair_block(
 
 
 # ---------------------------------------------------------------------------
-# process-pool worker plumbing
-# ---------------------------------------------------------------------------
-
-#: Per-worker state installed by :func:`_worker_init` (profiles by LTP name
-#: plus the foreign-key flag); batches then ship only name pairs.
-_WORKER_STATE: tuple[dict[str, ProgramProfile], bool] | None = None
-
-
-def _worker_init(profiles: dict[str, ProgramProfile], use_foreign_keys: bool) -> None:
-    global _WORKER_STATE
-    _WORKER_STATE = (profiles, use_foreign_keys)
-
-
-def _worker_batch(pairs: Sequence[tuple[str, str]]) -> list[list[SummaryEdge]]:
-    profiles, use_foreign_keys = _WORKER_STATE
-    return [
-        _pair_block(profiles[source], profiles[target], use_foreign_keys)
-        for source, target in pairs
-    ]
-
-
-def _chunked(items: Sequence, chunks: int) -> list[Sequence]:
-    """Split ``items`` into at most ``chunks`` contiguous, near-even runs."""
-    chunks = max(1, min(chunks, len(items)))
-    size, extra = divmod(len(items), chunks)
-    result = []
-    start = 0
-    for index in range(chunks):
-        stop = start + size + (1 if index < extra else 0)
-        result.append(items[start:stop])
-        start = stop
-    return result
-
-
-# ---------------------------------------------------------------------------
 # reference (frozenset) path — the executable specification
 # ---------------------------------------------------------------------------
 
@@ -373,14 +385,20 @@ class EdgeBlockStore:
     :meth:`load_block` seeds blocks from persisted edge lists without
     recomputation.
 
-    ``backend`` selects how missing blocks are computed when ``jobs > 1``:
-    ``"thread"`` (default) uses a thread pool, ``"process"`` ships chunked
-    batches of profile pairs to a ``ProcessPoolExecutor`` (``jobs``
-    defaults to the machine's core count on this backend — asking for
-    processes is asking for multi-core fan-out) — profiles are
-    picklable by construction, and both backends install blocks in
-    deterministic pair order, edge-for-edge identical to serial
-    construction.  Stores are not thread-safe; parallelism is internal
+    Missing blocks are computed by the **batch plane kernel**
+    (:mod:`repro.summary.planes`): the store packs registered profiles
+    into a :class:`~repro.summary.planes.PlaneArena`, groups missing pairs
+    into cross-product sweeps, and keeps the results as *packed blocks*
+    (per-pair occurrence coordinates) that materialize to
+    :class:`~repro.summary.graph.SummaryEdge` tuples lazily, on first
+    access.  ``backend`` selects how sweeps run: ``"thread"`` (the
+    default; the batch kernel saturates a core, so the label is a
+    compatibility alias for the serial sweep whatever ``jobs`` says) or
+    ``"process"``, which fans sweep row ranges out to a persistent
+    ``ProcessPoolExecutor`` over ``multiprocessing.shared_memory`` —
+    workers map the planes zero-copy and write into a preallocated output
+    plane, so both backends install identical blocks in deterministic
+    pair order.  Stores are not thread-safe; parallelism is internal
     (missing blocks of one :meth:`graph`/:meth:`ensure_blocks` call are
     computed concurrently, then installed from the calling thread).
     """
@@ -391,6 +409,8 @@ class EdgeBlockStore:
         settings: AnalysisSettings = AnalysisSettings(),
         jobs: int | None = None,
         backend: str = "thread",
+        degrade_guard: ProcessDegradeGuard | None = None,
+        plane_kernel: str | None = None,
     ):
         if backend not in BACKENDS:
             raise ProgramError(
@@ -401,9 +421,22 @@ class EdgeBlockStore:
         self.settings = settings
         self.jobs = jobs
         self.backend = backend
+        #: Sweep kernel override ("numpy"/"stdlib"; None → auto).
+        self.plane_kernel = plane_kernel
+        self._guard = degrade_guard if degrade_guard is not None else ProcessDegradeGuard()
+        self._arena: planes.PlaneArena | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers = 0
+        self._pool_finalizer = None
         self._ltps: dict[str, LTP] = {}
         self._profiles: dict[str, ProgramProfile] = {}
         self._blocks: dict[tuple[str, str], tuple[SummaryEdge, ...]] = {}
+        #: Blocks still in packed (coordinate) form — computed by the batch
+        #: kernel, not yet materialized to edge tuples.  A pair lives in
+        #: exactly one of ``_packed`` / ``_blocks``.
+        self._packed: dict[
+            tuple[str, str], tuple[tuple[int, int, bool, bool], ...]
+        ] = {}
         #: Per-program index of the block pairs it participates in — the
         #: incremental-replace primitive: :meth:`discard` deletes exactly
         #: these instead of rebuilding the whole block dict.
@@ -451,9 +484,12 @@ class EdgeBlockStore:
                 continue
             del self._ltps[name]
             del self._profiles[name]
+            if self._arena is not None:
+                self._arena.remove(name)
             for pair in self._pairs_by_name.pop(name):
-                if pair in self._blocks:
-                    del self._blocks[pair]
+                if pair in self._blocks or pair in self._packed:
+                    self._blocks.pop(pair, None)
+                    self._packed.pop(pair, None)
                     self._flags.pop(pair, None)
                     self._summaries.pop(pair, None)
                     other = pair[1] if pair[0] == name else pair[0]
@@ -478,28 +514,67 @@ class EdgeBlockStore:
     def _install(
         self, pair: tuple[str, str], block: tuple[SummaryEdge, ...], *, loaded: bool
     ) -> None:
-        if pair not in self._blocks:
+        if pair not in self._blocks and pair not in self._packed:
             if loaded:
                 self._loaded += 1
             else:
                 self._computed += 1
         elif not loaded:
             self._computed += 1
+        self._packed.pop(pair, None)
         self._blocks[pair] = block
         self._flags.pop(pair, None)
         self._summaries.pop(pair, None)
         self._pairs_by_name[pair[0]].add(pair)
         self._pairs_by_name[pair[1]].add(pair)
 
-    def _compute(self, pair: tuple[str, str]) -> tuple[SummaryEdge, ...]:
+    def _install_packed(
+        self,
+        pair: tuple[str, str],
+        coords: tuple[tuple[int, int, bool, bool], ...],
+    ) -> None:
+        """Adopt one batch-kernel result as this pair's (packed) block."""
+        self._computed += 1
+        self._blocks.pop(pair, None)
+        self._packed[pair] = coords
+        # Flags fall out of the packed coordinates for free — the subset
+        # screen never has to materialize edge tuples to read them.
+        has_nc = has_cf = False
+        for _, _, nc, cf in coords:
+            has_nc |= nc
+            has_cf |= cf
+        self._flags[pair] = (has_nc, has_cf)
+        self._summaries.pop(pair, None)
+        self._pairs_by_name[pair[0]].add(pair)
+        self._pairs_by_name[pair[1]].add(pair)
+
+    def _materialize(self, pair: tuple[str, str]) -> tuple[SummaryEdge, ...]:
+        """One packed block to its edge tuples (memoized into ``_blocks``).
+
+        Coordinates are ``(source occurrence, target occurrence)`` indexes
+        in program order, so emitting the non-counterflow edge before the
+        counterflow edge per coordinate reproduces the scalar kernel's
+        edge sequence exactly.
+        """
+        coords = self._packed.pop(pair)
         source, target = pair
-        return tuple(
-            _pair_block(
-                self._profiles[source],
-                self._profiles[target],
-                self.settings.use_foreign_keys,
-            )
-        )
+        occurrences_i = self._profiles[source].occurrences
+        occurrences_j = self._profiles[target].occurrences
+        edges: list[SummaryEdge] = []
+        append = edges.append
+        edge = SummaryEdge
+        for s, t, nc, cf in coords:
+            source_stmt, source_pos = occurrences_i[s][0], occurrences_i[s][1]
+            target_stmt, target_pos = occurrences_j[t][0], occurrences_j[t][1]
+            if nc:
+                append(edge(source, source_stmt, source_pos, False,
+                            target_stmt, target_pos, target))
+            if cf:
+                append(edge(source, source_stmt, source_pos, True,
+                            target_stmt, target_pos, target))
+        block = tuple(edges)
+        self._blocks[pair] = block
+        return block
 
     def block(self, source: str, target: str) -> tuple[SummaryEdge, ...]:
         """The edge block of one ordered pair, from cache or computed now."""
@@ -508,12 +583,14 @@ class EdgeBlockStore:
         if cached is not None:
             self._hits += 1
             return cached
+        if pair in self._packed:
+            self._hits += 1
+            return self._materialize(pair)
         for name in pair:
             if name not in self._ltps:
                 raise ProgramError(f"edge-block store: unknown program {name!r}")
-        block = self._compute(pair)
-        self._install(pair, block, loaded=False)
-        return block
+        self._ensure_pairs([pair], jobs=1, backend="thread")
+        return self._materialize(pair)
 
     def block_flags(self, source: str, target: str) -> tuple[bool, bool]:
         """``(has_non_counterflow, has_counterflow)`` of one cached block.
@@ -585,7 +662,10 @@ class EdgeBlockStore:
         summary = self._summaries.get(pair)
         if summary is not None:
             return summary
-        block = self._blocks[pair]
+        if pair in self._packed:
+            block = self._materialize(pair)
+        else:
+            block = self._blocks[pair]
         nc_rep = cf_rep = trigger_rep = None
         max_target_pos_rep = min_cf_source_pos_rep = None
         source_ltp = self._ltps[source]
@@ -652,9 +732,15 @@ class EdgeBlockStore:
         for name, pairs in other._pairs_by_name.items():
             self._pairs_by_name.setdefault(name, set()).update(pairs)
         for pair, block in other._blocks.items():
-            if pair not in self._blocks:
+            if pair not in self._blocks and pair not in self._packed:
                 self._loaded += 1
+            self._packed.pop(pair, None)
             self._blocks[pair] = block
+        for pair, coords in other._packed.items():
+            if pair not in self._blocks and pair not in self._packed:
+                self._loaded += 1
+            self._blocks.pop(pair, None)
+            self._packed[pair] = coords
         self._flags.update(other._flags)
         self._summaries.update(other._summaries)
 
@@ -665,9 +751,9 @@ class EdgeBlockStore:
         backend: str | None = None,
     ) -> int:
         """Compute every missing block among ``names`` (all registered when
-        ``None``), fanning out over the thread or process backend when
-        ``jobs`` (or the store default) asks for more than one worker.
-        Returns the number of blocks computed."""
+        ``None``) with the batch plane kernel, fanning sweep row ranges out
+        over the process backend when ``jobs`` (or the store default) asks
+        for more than one worker.  Returns the number of blocks computed."""
         if names is None:
             names = self.ltp_names
         missing = [
@@ -675,6 +761,7 @@ class EdgeBlockStore:
             for source in names
             for target in names
             if (source, target) not in self._blocks
+            and (source, target) not in self._packed
         ]
         if not missing:
             return 0
@@ -684,6 +771,63 @@ class EdgeBlockStore:
                     raise ProgramError(
                         f"edge-block store: unknown program {name!r}"
                     )
+        return self._ensure_pairs(missing, jobs, backend)
+
+    # -- batch kernel plumbing ---------------------------------------------
+    def _required_words(self) -> int:
+        """Mask-slot width the current intern table needs (attr and FK
+        masks share the wider of the two requirements)."""
+        interner = self.schema.interner
+        return max(
+            planes.words_for_bits(interner.attr_bit_count),
+            planes.words_for_bits(interner.fk_bit_count),
+        )
+
+    def _arena_for(self, names: Iterable[str]) -> planes.PlaneArena:
+        """The store's plane arena with ``names`` packed, (re)built wider
+        when lazy interning has outgrown the mask slots.
+
+        Already-packed programs keep their rows — an incremental
+        ``replace_program`` repacks only the edited program's rows."""
+        words = self._required_words()
+        arena = self._arena
+        if arena is None or arena.words < words:
+            arena = self._arena = planes.PlaneArena(words)
+        for name in names:
+            if name not in arena:
+                arena.add(self._profiles[name])
+        return arena
+
+    def _process_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The store's persistent worker pool (rebuilt if ``workers``
+        changes); spawning processes per build would dwarf sweep time."""
+        if self._pool is not None and self._pool_workers != workers:
+            self._shutdown_pool()
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_executor, self._pool
+            )
+        return self._pool
+
+    def _shutdown_pool(self) -> None:
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._pool_workers = 0
+
+    def _ensure_pairs(
+        self,
+        missing: Sequence[tuple[str, str]],
+        jobs: int | None,
+        backend: str | None,
+    ) -> int:
+        """Batch-compute the given pairs: plan sweeps, run them (serially
+        or across the shared-memory process pool), install packed blocks."""
         workers = self.jobs if jobs is None else jobs
         backend = self.backend if backend is None else backend
         if backend not in BACKENDS:
@@ -691,66 +835,44 @@ class EdgeBlockStore:
                 f"unknown block-construction backend {backend!r}; "
                 f"expected one of {BACKENDS}"
             )
-        if backend == "process" and (os.cpu_count() or 1) <= 2:
+        if backend == "process" and self._guard.cpu_count() <= 2:
             # Process fan-out loses to serial without real cores to fan
-            # out over (fork + profile pickling overhead, nothing gained
-            # — BENCH_kernel.json records the process backend losing on
-            # the 1-core CI host), so degrade to the serial path rather
-            # than honor a configuration that can only be slower.
-            global _PROCESS_DEGRADE_WARNED
-            if not _PROCESS_DEGRADE_WARNED:
-                _PROCESS_DEGRADE_WARNED = True
-                warnings.warn(
-                    f"backend='process' degraded to serial block "
-                    f"construction: only {os.cpu_count() or 1} CPU core(s) "
-                    "available",
-                    RuntimeWarning,
-                    stacklevel=3,
-                )
+            # out over, so degrade rather than honor a configuration that
+            # can only be slower.  One warning per guard owner.
+            self._guard.warn_degraded()
             backend = "thread"
             workers = 1
         if workers is None and backend == "process":
             # Asking for the process backend *is* asking for multi-core
             # fan-out; without an explicit jobs= it would otherwise fall
             # through to the serial path and silently never fork.
-            workers = os.cpu_count() or 1
-        if workers is not None and workers > 1 and len(missing) > 1:
-            if backend == "process":
-                self._compute_with_processes(missing, workers)
-            else:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    computed = list(pool.map(self._compute, missing))
-                for pair, block in zip(missing, computed):
-                    self._install(pair, block, loaded=False)
-        else:
-            for pair in missing:
-                self._install(pair, self._compute(pair), loaded=False)
-        return len(missing)
-
-    def _compute_with_processes(
-        self, missing: Sequence[tuple[str, str]], workers: int
-    ) -> None:
-        """Fan the missing blocks out to a process pool, in chunked batches.
-
-        Each worker receives the involved profiles once (pool initializer),
-        batches carry only name pairs, and edge blocks come back as lists
-        of (named-tuple) edges; blocks are installed here in pair order, so
-        the result is deterministic and edge-for-edge identical to serial
-        construction whatever order the batches complete in.
-        """
+            workers = self._guard.cpu_count()
         involved = {name for pair in missing for name in pair}
-        profiles = {name: self._profiles[name] for name in involved}
-        # ~4 batches per worker amortizes pickling while keeping the pool fed.
-        batches = _chunked(list(missing), workers * 4)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_worker_init,
-            initargs=(profiles, self.settings.use_foreign_keys),
-        ) as pool:
-            batched_blocks = list(pool.map(_worker_batch, batches))
-        for batch, block_list in zip(batches, batched_blocks):
-            for pair, block in zip(batch, block_list):
-                self._install(pair, tuple(block), loaded=False)
+        arena = self._arena_for(involved)
+        use_fk = self.settings.use_foreign_keys
+        plans = planes.plan_sweeps(missing)
+        if backend == "process" and workers > 1 and len(missing) > 1:
+            grouped_list = planes.process_sweep_blocks(
+                arena,
+                plans,
+                use_fk,
+                self._process_pool(workers),
+                workers,
+                self.plane_kernel,
+            )
+        else:
+            grouped_list = [
+                planes.sweep_blocks(
+                    arena, plan.sources, plan.targets, use_fk, self.plane_kernel
+                )
+                for plan in plans
+            ]
+        for plan, grouped in zip(plans, grouped_list):
+            for source in plan.sources:
+                for target in plan.targets:
+                    pair = (source, target)
+                    self._install_packed(pair, grouped[pair])
+        return len(missing)
 
     # -- assembly -----------------------------------------------------------
     def graph(
@@ -773,7 +895,10 @@ class EdgeBlockStore:
         edges: list[SummaryEdge] = []
         for source in names:
             for target in names:
-                edges.extend(blocks[(source, target)])
+                block = blocks.get((source, target))
+                if block is None:
+                    block = self._materialize((source, target))
+                edges.extend(block)
         self._hits += len(names) * len(names) - freshly_computed
         return SummaryGraph._assembled(
             {name: self.ltp(name) for name in names}, tuple(edges)
@@ -781,27 +906,52 @@ class EdgeBlockStore:
 
     # -- diagnostics --------------------------------------------------------
     def cache_info(self) -> dict[str, int]:
-        """Block-cache counters: size, computations, loads, and hits."""
+        """Block-cache counters: size, computations, loads, and hits.
+
+        ``blocks`` counts packed and materialized blocks alike — packing
+        is a representation detail, not a cache state."""
         return {
             "programs": len(self._ltps),
-            "blocks": len(self._blocks),
+            "blocks": len(self._blocks) + len(self._packed),
             "computed": self._computed,
             "loaded": self._loaded,
             "hits": self._hits,
         }
 
+    def plane_info(self) -> dict[str, int]:
+        """Plane-arena diagnostics: slot width, live rows, rows ever packed.
+
+        ``rows_packed`` is cumulative — an incremental replace advances it
+        by the edited program's occurrence count only (untouched rows are
+        reused in place), which is what the incremental regression tests
+        assert."""
+        arena = self._arena
+        if arena is None:
+            return {"words": 0, "programs": 0, "rows": 0, "rows_packed": 0}
+        return {
+            "words": arena.words,
+            "programs": arena.programs,
+            "rows": arena.capacity,
+            "rows_packed": arena.rows_packed,
+        }
+
     def blocks(self) -> dict[tuple[str, str], tuple[SummaryEdge, ...]]:
-        """A snapshot of all cached blocks (for persistence)."""
+        """A snapshot of all cached blocks, materialized (for persistence)."""
+        for pair in list(self._packed):
+            self._materialize(pair)
         return dict(self._blocks)
 
     def clear(self) -> None:
-        """Drop all programs, profiles, blocks, and counters."""
+        """Drop all programs, profiles, blocks, planes, and counters."""
         self._ltps.clear()
         self._profiles.clear()
         self._blocks.clear()
+        self._packed.clear()
         self._pairs_by_name.clear()
         self._flags.clear()
         self._summaries.clear()
+        self._arena = None
+        self._shutdown_pool()
         self._computed = 0
         self._loaded = 0
         self._hits = 0
@@ -809,6 +959,7 @@ class EdgeBlockStore:
     def __repr__(self) -> str:
         return (
             f"EdgeBlockStore(settings={self.settings.label!r}, "
-            f"programs={len(self._ltps)}, blocks={len(self._blocks)}, "
+            f"programs={len(self._ltps)}, "
+            f"blocks={len(self._blocks) + len(self._packed)}, "
             f"backend={self.backend!r})"
         )

@@ -98,3 +98,21 @@ C_DEP_TABLE = _table(
 #: (``NC_DEP_ROWS[TYPE_INDEX[qi.stype]][TYPE_INDEX[qj.stype]]``).
 NC_DEP_ROWS: tuple[tuple[TableEntry, ...], ...] = _rows(NC_DEP_TABLE)
 C_DEP_ROWS: tuple[tuple[TableEntry, ...], ...] = _rows(C_DEP_TABLE)
+
+#: Table-entry codes for the batch plane kernel
+#: (:mod:`repro.summary.planes`): ``False`` → 0, ``True`` → 1, ⊥ → 2.
+#: Integer codes index directly into numpy ``int8`` tables and into the
+#: per-sweep indicator constants of the stdlib big-int path, where the
+#: three-valued ``True``/``False``/``None`` objects cannot.
+ENTRY_FALSE, ENTRY_TRUE, ENTRY_COND = 0, 1, 2
+
+
+def _coded(rows: tuple[tuple[TableEntry, ...], ...]) -> tuple[tuple[int, ...], ...]:
+    return tuple(
+        tuple(ENTRY_COND if entry is None else int(entry) for entry in row)
+        for row in rows
+    )
+
+
+NC_CODE_ROWS: tuple[tuple[int, ...], ...] = _coded(NC_DEP_ROWS)
+C_CODE_ROWS: tuple[tuple[int, ...], ...] = _coded(C_DEP_ROWS)

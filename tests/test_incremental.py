@@ -103,6 +103,30 @@ class TestIncremental:
         # Balance unfolds to one LTP: 2k - 1 blocks involve it
         assert recomputed == 2 * total_ltps - 1
 
+    def test_replace_repacks_only_the_edited_programs_rows(
+        self, smallbank_workload
+    ):
+        """The plane arena reuses untouched rows across replace_program:
+        only the edited program's occurrence rows are repacked."""
+        session = Analyzer(smallbank_workload)
+        session.analyze(ATTR_DEP_FK)
+        store = session.edge_block_store(ATTR_DEP_FK)
+        before = store.plane_info()
+        assert before["rows_packed"] == before["rows"]
+        session.replace_program(_variant_balance(smallbank_workload))
+        session.analyze(ATTR_DEP_FK)
+        after = store.plane_info()
+        # The cumulative pack counter advanced by exactly the variant's
+        # occurrence rows (Balance unfolds to a single LTP), proving every
+        # other program's rows were reused in place.
+        new_rows = next(
+            len(ltp.occurrences)
+            for ltp in session.unfolded()
+            if ltp.name.startswith("Balance")
+        )
+        assert after["rows_packed"] == before["rows_packed"] + new_rows
+        assert after["programs"] == before["programs"]
+
     def test_replace_back_and_forth_is_stable(self, smallbank_workload):
         session = Analyzer(smallbank_workload)
         original_report = session.analyze(ATTR_DEP_FK)

@@ -387,15 +387,9 @@ class TestDiscardIndex:
 
 
 class TestProcessBackendDegrade:
-    """PR 6 satellite: backend='process' degrades to serial on hosts with
-    <= 2 cores, with exactly one RuntimeWarning per process."""
-
-    @pytest.fixture(autouse=True)
-    def _reset_warned_flag(self, monkeypatch):
-        import repro.summary.pairwise as pairwise
-
-        monkeypatch.setattr(pairwise, "_PROCESS_DEGRADE_WARNED", False)
-        yield
+    """backend='process' degrades to serial on hosts with <= 2 cores, with
+    exactly one RuntimeWarning per guard owner (store or Analyzer) and a
+    single cached cpu_count probe."""
 
     def _store_with_cores(self, monkeypatch, cores: int) -> EdgeBlockStore:
         import repro.summary.pairwise as pairwise
@@ -427,7 +421,7 @@ class TestProcessBackendDegrade:
         serial.register(unfold(workload.programs, 2))
         assert store.graph().edges == serial.graph().edges
 
-    def test_warning_fires_once_per_process(self, monkeypatch):
+    def test_warning_fires_once_per_store(self, monkeypatch):
         import warnings as warnings_module
 
         store, ltps_ = self._store_with_cores(monkeypatch, 1)
@@ -438,6 +432,37 @@ class TestProcessBackendDegrade:
             store.discard([ltps_[0].name])
             store.register(unfold(smallbank().programs, 2)[:1])
             store.ensure_blocks()  # second build, no repeat warning
+        degrade = [
+            w for w in caught if "degraded to serial" in str(w.message)
+        ]
+        assert len(degrade) == 1
+
+    def test_cpu_probe_cached_per_guard(self, monkeypatch):
+        import repro.summary.pairwise as pairwise
+
+        calls = []
+
+        def probe():
+            calls.append(1)
+            return 1
+
+        monkeypatch.setattr(pairwise.os, "cpu_count", probe)
+        guard = pairwise.ProcessDegradeGuard()
+        assert guard.cpu_count() == 1
+        assert guard.cpu_count() == 1
+        assert len(calls) == 1
+
+    def test_analyzer_shares_one_guard_across_settings(self, monkeypatch):
+        import warnings as warnings_module
+
+        import repro.summary.pairwise as pairwise
+        from repro.analysis import Analyzer
+
+        monkeypatch.setattr(pairwise.os, "cpu_count", lambda: 1)
+        session = Analyzer("smallbank", jobs=2, backend="process")
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            session.analyze_matrix()  # four settings -> four stores
         degrade = [
             w for w in caught if "degraded to serial" in str(w.message)
         ]
