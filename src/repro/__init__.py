@@ -78,6 +78,8 @@ from repro.repair import (
     apply_repairs,
 )
 from repro.errors import (
+    DeadlineExceeded,
+    FaultError,
     InstantiationError,
     ProgramError,
     ReproError,
@@ -85,6 +87,7 @@ from repro.errors import (
     SchemaError,
     SqlError,
 )
+from repro.faults import Deadline, FaultPlan, FaultRule
 from repro.schema import ForeignKey, Relation, Schema
 from repro.service import (
     AdviseRequest,
@@ -117,7 +120,7 @@ from repro.summary import (
 )
 from repro.workloads import Workload
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -196,6 +199,10 @@ __all__ = [
     # workloads
     "workloads",
     "Workload",
+    # fault injection and deadlines
+    "FaultPlan",
+    "FaultRule",
+    "Deadline",
     # errors
     "ReproError",
     "SchemaError",
@@ -203,4 +210,6 @@ __all__ = [
     "SqlError",
     "ScheduleError",
     "InstantiationError",
+    "FaultError",
+    "DeadlineExceeded",
 ]

@@ -48,6 +48,7 @@ from repro.detection.subsets import (
 from repro.detection.typei import find_type1_violation
 from repro.detection.typeii import find_type2_violation
 from repro.errors import ProgramError
+from repro.faults.deadline import check_deadline
 from repro.schema import Schema
 from repro.summary.fingerprint import schema_fingerprint, workload_fingerprint
 from repro.summary.graph import SummaryEdge, SummaryGraph
@@ -301,6 +302,7 @@ class Analyzer:
             if cached is not None:
                 return cached
             graph = self.summary_graph(settings, names)
+            check_deadline("analysis")
             witness = find_type2_violation(graph)
             type1_witness = find_type1_violation(graph)
             report = RobustnessReport(
@@ -675,6 +677,19 @@ class Analyzer:
                 ),
                 "blocks_loaded": sum(store.cache_info()["loaded"] for store in stores),
             }
+
+    def fault_info(self) -> dict[str, object]:
+        """Aggregated process-backend fault counters across the session's
+        stores (kept separate from :meth:`cache_info`, whose exact key set
+        is a compatibility contract for tests and persisted artifacts):
+        sweep batches recovered after a worker/segment failure, and
+        whether the backend has degraded to the serial kernel."""
+        with self._lock:
+            infos = [store.fault_info() for store in self._stores.values()]
+        return {
+            "recoveries": sum(info["recoveries"] for info in infos),
+            "degraded": self._degrade_guard.fault_degraded,
+        }
 
     def clear_cache(self) -> None:
         """Drop all memoized stages (results are recomputed on demand)."""

@@ -34,6 +34,7 @@ from typing import Any, Mapping
 from repro.analysis.session import Analyzer
 from repro.detection.api import RobustnessReport
 from repro.errors import ProgramError
+from repro.faults import check_deadline
 from repro.summary.settings import ATTR_DEP_FK, AnalysisSettings
 from repro.workloads.base import Workload, WorkloadSource
 
@@ -98,6 +99,12 @@ class ChurnStep:
     blocks_recomputed: int
     elapsed_seconds: float = 0.0
     oracle: OracleCheck | None = None
+    #: Worker-pool failures the session recovered from *during this step*
+    #: (pool rebuilds or serial-kernel fallbacks — the verdict above is
+    #: unaffected either way).  Like timings, this is an operational fact
+    #: of one particular run, not part of the canonical replay contract:
+    #: it serializes only when nonzero and only with ``include_timings``.
+    faults_recovered: int = 0
 
     def to_dict(self, include_timings: bool = True) -> dict[str, Any]:
         data: dict[str, Any] = {
@@ -111,6 +118,8 @@ class ChurnStep:
         }
         if include_timings:
             data["elapsed_seconds"] = round(self.elapsed_seconds, 6)
+            if self.faults_recovered:
+                data["faults_recovered"] = self.faults_recovered
         data["oracle"] = (
             None if self.oracle is None else self.oracle.to_dict(include_timings)
         )
@@ -129,6 +138,7 @@ class ChurnStep:
             blocks_recomputed=int(data["blocks_recomputed"]),
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
             oracle=None if oracle is None else OracleCheck.from_dict(oracle),
+            faults_recovered=int(data.get("faults_recovered", 0)),
         )
 
 
@@ -159,6 +169,10 @@ class ChurnTrace:
     @property
     def robust_steps(self) -> int:
         return sum(1 for step in self.steps if step.robust)
+
+    @property
+    def faults_recovered(self) -> int:
+        return sum(step.faults_recovered for step in self.steps)
 
     @property
     def oracle_checks(self) -> int:
@@ -192,6 +206,8 @@ class ChurnTrace:
                 if self.elapsed_seconds > 0
                 else None
             )
+            if self.faults_recovered:
+                data["faults_recovered"] = self.faults_recovered
         return data
 
     # -- serialization ------------------------------------------------------
@@ -359,6 +375,9 @@ class Monitor:
         self.session.analyze(self.settings)
         records = []
         for step in range(steps):
+            # Watch runs dispatched through the service honour its
+            # per-request deadline between steps (a no-op otherwise).
+            check_deadline("watch step")
             want_oracle = bool(oracle_every) and (step + 1) % oracle_every == 0
             records.append(self._step(step, want_oracle=want_oracle))
         return self._trace(records, time.perf_counter() - started)
@@ -410,12 +429,14 @@ class Monitor:
         if mutations is None:
             mutations = self.engine.propose(self.session.workload, step)
         before = self.session.cache_info()["block_computations"]
+        faults_before = self.session.fault_info()["recoveries"]
         started = time.perf_counter()
         for mutation in mutations:
             self.apply(mutation)
         report = self.session.analyze(self.settings)
         elapsed = time.perf_counter() - started
         recomputed = self.session.cache_info()["block_computations"] - before
+        recovered = self.session.fault_info()["recoveries"] - faults_before
         oracle = self.check(report) if want_oracle else None
         return ChurnStep(
             step=step,
@@ -427,6 +448,7 @@ class Monitor:
             blocks_recomputed=recomputed,
             elapsed_seconds=elapsed,
             oracle=oracle,
+            faults_recovered=recovered,
         )
 
     def apply(self, mutation: Mutation) -> None:

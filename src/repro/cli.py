@@ -66,6 +66,7 @@ from typing import Sequence
 
 from repro.analysis.session import Analyzer
 from repro.errors import ReproError
+from repro.faults import FaultPlan, install_plan
 from repro.experiments.false_negatives import run_false_negatives
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
@@ -81,6 +82,7 @@ from repro.service.requests import (
     SubsetsRequest,
     WatchRequest,
 )
+from repro.summary import planes
 from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK, AnalysisSettings
 from repro.viz import to_dot, to_text
 
@@ -270,6 +272,9 @@ def _cmd_cache_load(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.fault_plan:
+        # Explicit flag beats the REPRO_FAULTS environment variable.
+        install_plan(FaultPlan.from_source(args.fault_plan))
     # --cache-dir is both tiers: warm the pool from existing artifacts at
     # startup, and spill LRU-evicted sessions back to the same directory.
     service = AnalysisService(
@@ -277,6 +282,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         backend=args.backend,
         cache_dir=args.cache_dir,
+        deadline_seconds=args.deadline,
+        max_inflight=args.max_inflight,
     )
     if args.cache_dir and Path(args.cache_dir).is_dir():
         warmed = service.warm_from_cache_dir(args.cache_dir)
@@ -295,10 +302,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     run_server(server, handle_sigterm=True)
     # Clean shutdown (Ctrl-C or SIGTERM): spill the warm pool so the next
-    # `repro serve --cache-dir` starts where this one stopped.
+    # `repro serve --cache-dir` starts where this one stopped, and unlink
+    # any shared-memory segments a killed worker pool left behind.
     if args.cache_dir:
         saved = service.save_to_cache_dir(args.cache_dir)
         print(f"spilled {len(saved)} warm session(s) to {args.cache_dir}")
+    planes.cleanup_segments()
     return 0
 
 
@@ -478,6 +487,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         metavar="DIR",
         help="warm the session pool from 'repro cache save' artifacts at startup",
+    )
+    serve.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="per-request deadline; expiries answer 504 deadline_exceeded",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        metavar="N",
+        help="bound concurrent requests; excess load answers 503 + Retry-After",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        metavar="JSON|PATH",
+        help="install a deterministic fault-injection plan (inline JSON or "
+        "a plan file; overrides REPRO_FAULTS) — chaos testing only",
     )
     _add_jobs_argument(serve)
     serve.set_defaults(func=_cmd_serve)

@@ -56,3 +56,20 @@ class InstantiationError(ReproError):
     Raised when tuple choices violate foreign-key annotations or when the
     tuple universe is too small for the requested instantiation.
     """
+
+
+class FaultError(ReproError):
+    """A malformed fault plan (unknown site, bad rates, unparseable JSON).
+
+    Raised when building a :class:`repro.faults.FaultPlan` from a dict,
+    JSON text, or the ``REPRO_FAULTS`` environment source.
+    """
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative per-request deadline expired mid-analysis.
+
+    Raised by :func:`repro.faults.check_deadline` at block-construction and
+    detection boundaries; the service maps it to the ``deadline_exceeded``
+    :class:`~repro.service.requests.ServiceError` envelope (HTTP 504).
+    """

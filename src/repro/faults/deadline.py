@@ -1,0 +1,78 @@
+"""Cooperative per-request deadlines.
+
+A :class:`Deadline` is a wall-clock expiry carried in a context variable;
+long-running stages call :func:`check_deadline` at natural boundaries
+(before each block-construction sweep, before detection, per grid cell,
+per batch item, per churn step) and raise
+:class:`~repro.errors.DeadlineExceeded` once it has passed.  The service
+maps that to the ``deadline_exceeded`` envelope (HTTP 504).
+
+Cooperative by design: checks cost one contextvar read when no deadline
+is set, work is abandoned only at stage boundaries (never mid-sweep, so
+caches stay consistent), and the mechanism needs no signals or threads.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+from repro.errors import DeadlineExceeded, ProgramError
+
+
+class Deadline:
+    """A wall-clock expiry: ``seconds`` from construction time."""
+
+    __slots__ = ("seconds", "expires_at")
+
+    def __init__(self, seconds: float):
+        if seconds <= 0:
+            raise ProgramError(f"deadline seconds must be > 0, got {seconds}")
+        self.seconds = seconds
+        self.expires_at = time.monotonic() + seconds
+
+    def remaining(self) -> float:
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, what: str = "request") -> None:
+        if self.expired():
+            raise DeadlineExceeded(
+                f"{what} exceeded its {self.seconds:g}s deadline"
+            )
+
+    def __repr__(self) -> str:
+        return f"Deadline(seconds={self.seconds:g}, remaining={self.remaining():.3f})"
+
+
+_DEADLINE: ContextVar[Deadline | None] = ContextVar("repro_deadline", default=None)
+
+
+def current_deadline() -> Deadline | None:
+    """The deadline governing the calling context, if any."""
+    return _DEADLINE.get()
+
+
+@contextmanager
+def deadline_scope(seconds: float | None) -> Iterator[Deadline | None]:
+    """Run a block under a deadline (``None`` = no-op, keep any outer one)."""
+    if seconds is None:
+        yield _DEADLINE.get()
+        return
+    deadline = Deadline(seconds)
+    token = _DEADLINE.set(deadline)
+    try:
+        yield deadline
+    finally:
+        _DEADLINE.reset(token)
+
+
+def check_deadline(what: str = "request") -> None:
+    """Raise :class:`DeadlineExceeded` if the context's deadline passed."""
+    deadline = _DEADLINE.get()
+    if deadline is not None:
+        deadline.check(what)

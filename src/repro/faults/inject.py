@@ -1,0 +1,156 @@
+"""The fault-injection registry the library's injection points consult.
+
+Two activation scopes share one lookup:
+
+* a **context-local** injector (:func:`active_plan`, a context manager) —
+  what tests use to scope a plan to one block of code without touching
+  global state;
+* a **process-global** injector (:func:`install_plan`) — what
+  ``repro serve --fault-plan`` and the ``REPRO_FAULTS`` environment
+  variable install for CI chaos smokes.  ``REPRO_FAULTS`` accepts inline
+  JSON or a file path and is read once, lazily, on the first consult.
+
+Injection points call :func:`fire` (or the :func:`maybe_stall` /
+:func:`maybe_crash` helpers).  With no injector installed the fast path
+is one contextvar read and one global ``None`` check — zero allocation,
+zero locking — which is what keeps the harness free when unset.
+
+Consult counters are per-injector and thread-safe; :func:`snapshot`
+exposes them (consults and firings per site) for ``/v1/stats`` and the
+benchmark report.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import warnings
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from repro.errors import FaultError
+from repro.faults.plan import FaultPlan, FaultRule
+
+
+class InjectedFault(RuntimeError):
+    """The *unexpected* exception ``handler.crash`` raises.
+
+    Deliberately **not** a :class:`~repro.errors.ReproError`: it must fall
+    through every intentional ``except ReproError`` clause and hit the
+    defensive catch-alls the fault taxonomy exists to exercise.
+    """
+
+
+class FaultInjector:
+    """Deterministic consult state for one installed :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._consults: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+        self._sites = {rule.site for rule in plan.rules}
+
+    def consult(self, site: str) -> FaultRule | None:
+        """Count one consult of ``site``; the rule that fires, or None."""
+        if site not in self._sites:
+            return None
+        with self._lock:
+            n = self._consults.get(site, 0) + 1
+            self._consults[site] = n
+            rule = self.plan.decide(site, n)
+            if rule is None:
+                return None
+            if rule.times and self._fired.get(site, 0) >= rule.times:
+                return None
+            self._fired[site] = self._fired.get(site, 0) + 1
+            return rule
+
+    def snapshot(self) -> dict[str, Any]:
+        """Consult/firing counters per site (the ``/v1/stats`` shape)."""
+        with self._lock:
+            return {
+                "seed": self.plan.seed,
+                "consults": dict(sorted(self._consults.items())),
+                "fired": dict(sorted(self._fired.items())),
+            }
+
+
+#: Process-global injector; ``_ENV_PENDING`` defers the REPRO_FAULTS parse
+#: to the first consult so importing repro never pays for it.
+_GLOBAL: FaultInjector | None = None
+_ENV_PENDING = True
+_ENV_LOCK = threading.Lock()
+
+_LOCAL: ContextVar[FaultInjector | None] = ContextVar("repro_faults", default=None)
+
+
+def _load_env() -> None:
+    global _GLOBAL, _ENV_PENDING
+    with _ENV_LOCK:
+        if not _ENV_PENDING:
+            return
+        _ENV_PENDING = False
+        source = os.environ.get("REPRO_FAULTS")
+        if not source:
+            return
+        try:
+            _GLOBAL = FaultInjector(FaultPlan.from_source(source))
+        except FaultError as error:
+            warnings.warn(
+                f"ignoring malformed REPRO_FAULTS plan: {error}", RuntimeWarning
+            )
+
+
+def install_plan(plan: FaultPlan | None) -> FaultInjector | None:
+    """Install ``plan`` process-globally (``None`` uninstalls); returns the
+    injector so callers can read its counters later."""
+    global _GLOBAL, _ENV_PENDING
+    with _ENV_LOCK:
+        _ENV_PENDING = False  # an explicit install overrides REPRO_FAULTS
+        _GLOBAL = FaultInjector(plan) if plan is not None else None
+        return _GLOBAL
+
+
+def current_injector() -> FaultInjector | None:
+    """The injector consults resolve to: context-local first, then global."""
+    local = _LOCAL.get()
+    if local is not None:
+        return local
+    if _ENV_PENDING:
+        _load_env()
+    return _GLOBAL
+
+
+@contextmanager
+def active_plan(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Scope a plan to one block of code (tests; overrides the global)."""
+    injector = FaultInjector(plan)
+    token = _LOCAL.set(injector)
+    try:
+        yield injector
+    finally:
+        _LOCAL.reset(token)
+
+
+def fire(site: str) -> FaultRule | None:
+    """Consult the active injector at one site (None when inactive)."""
+    injector = current_injector()
+    if injector is None:
+        return None
+    return injector.consult(site)
+
+
+def maybe_stall(site: str = "handler.stall") -> None:
+    """Sleep the firing rule's ``delay_seconds`` (the slow-handler fault)."""
+    rule = fire(site)
+    if rule is not None and rule.delay_seconds:
+        time.sleep(rule.delay_seconds)
+
+
+def maybe_crash(site: str = "handler.crash") -> None:
+    """Raise an unexpected (non-``ReproError``) exception when firing."""
+    if fire(site) is not None:
+        raise InjectedFault(f"injected fault: {site}")

@@ -24,12 +24,16 @@ from __future__ import annotations
 import json
 import threading
 import time
+import warnings
 from collections import OrderedDict
+from contextvars import ContextVar
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.analysis.session import CACHE_FORMAT, Analyzer
-from repro.errors import ProgramError, ReproError
+from repro.errors import DeadlineExceeded, ProgramError, ReproError
+from repro.faults import inject as _faults
+from repro.faults.deadline import check_deadline, deadline_scope
 from repro.schema import Schema
 from repro.service.grid import GridResult, GridSpec, run_grid
 from repro.service.requests import ServiceError, parse_request
@@ -52,6 +56,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     )
 
 
+#: ``Retry-After`` seconds sent with shed (HTTP 503) responses.
+RETRY_AFTER_SECONDS = 1
+
+#: Unexpected-exception strikes before a workload's session is evicted
+#: (the poisoned-session circuit breaker's default threshold).
+DEFAULT_POISON_THRESHOLD = 3
+
+#: True while the current context is already inside :meth:`handle` —
+#: nested dispatches (batch items) must not re-acquire the in-flight gate
+#: (instant self-deadlock at ``max_inflight=1``) or shadow the outer
+#: request's deadline with a fresh one.
+_IN_REQUEST: ContextVar[bool] = ContextVar("repro_service_in_request", default=False)
+
+
 class AnalysisService:
     """A long-running, many-request front over warm analyzer sessions.
 
@@ -66,6 +84,15 @@ class AnalysisService:
     ``capacity`` bounds the warm pool (least-recently-used sessions are
     evicted); ``jobs``/``backend`` configure every pooled session's block
     construction.  All entry points are thread-safe.
+
+    Failure-mode knobs (see the README's "Operating under failure"):
+    ``deadline_seconds`` puts a cooperative deadline on every top-level
+    request (expiry answers the ``deadline_exceeded`` envelope, HTTP 504);
+    ``max_inflight`` bounds concurrently executing requests — excess load
+    is *shed* with ``overloaded`` (HTTP 503 + ``Retry-After``) instead of
+    queueing unboundedly; ``poison_threshold`` strikes out a workload
+    whose handler keeps raising unexpected exceptions and evicts its
+    session rather than re-serving possibly corrupt warm state.
     """
 
     def __init__(
@@ -76,6 +103,9 @@ class AnalysisService:
         backend: str = "thread",
         max_loop_iterations: int = 2,
         cache_dir: str | Path | None = None,
+        deadline_seconds: float | None = None,
+        max_inflight: int | None = None,
+        poison_threshold: int = DEFAULT_POISON_THRESHOLD,
     ):
         if capacity < 1:
             raise ProgramError(f"service capacity must be >= 1, got {capacity}")
@@ -84,10 +114,28 @@ class AnalysisService:
                 f"unknown block-construction backend {backend!r}; "
                 f"expected one of {BACKENDS}"
             )
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ProgramError(
+                f"service deadline_seconds must be > 0, got {deadline_seconds}"
+            )
+        if max_inflight is not None and max_inflight < 1:
+            raise ProgramError(
+                f"service max_inflight must be >= 1, got {max_inflight}"
+            )
+        if poison_threshold < 1:
+            raise ProgramError(
+                f"service poison_threshold must be >= 1, got {poison_threshold}"
+            )
         self.capacity = capacity
         self.jobs = jobs
         self.backend = backend
         self.max_loop_iterations = max_loop_iterations
+        self.deadline_seconds = deadline_seconds
+        self.max_inflight = max_inflight
+        self.poison_threshold = poison_threshold
+        self._inflight = (
+            threading.Semaphore(max_inflight) if max_inflight is not None else None
+        )
         #: When set, LRU-evicted sessions *spill* to
         #: ``cache_dir/<fingerprint>.json`` instead of dropping their warm
         #: state, and pool misses rehydrate from the same artifacts — the
@@ -109,6 +157,15 @@ class AnalysisService:
         self._watch_steps = 0
         self._watch_oracle_checks = 0
         self._watch_oracle_mismatches = 0
+        self._shed = 0
+        self._deadline_exceeded = 0
+        self._rehydrate_failures = 0
+        self._spill_failures = 0
+        self._poisoned_evictions = 0
+        #: Unexpected-exception strikes per workload source string (the
+        #: poisoned-session circuit breaker's state; reset on success).
+        self._poison_counts: dict[str, int] = {}
+        self._quarantine_warned = False
 
     # -- session pool --------------------------------------------------------
     def fresh_session(
@@ -198,9 +255,12 @@ class AnalysisService:
     def _rehydrate(self, candidate: Analyzer, fingerprint: str) -> bool:
         """Seed a fresh candidate session from a spilled cache artifact.
 
-        Best-effort: a missing, stale or unreadable artifact simply leaves
-        the candidate cold (``load_cache`` rejects mismatches itself).
-        Called outside the pool lock — rehydration reads disk.
+        A missing artifact simply leaves the candidate cold; a *corrupt*
+        one (truncated spill, bad JSON, stale format) is quarantined —
+        renamed to ``<name>.corrupt`` and counted in
+        ``rehydrate_failures`` — so the next miss recomputes instead of
+        re-tripping over the same artifact.  Called outside the pool lock
+        — rehydration reads disk.
         """
         if self.cache_dir is None:
             return False
@@ -209,9 +269,35 @@ class AnalysisService:
             return False
         try:
             candidate.load_cache(path)
-        except (ReproError, ValueError, OSError):
+        except (ReproError, ValueError, OSError) as error:
+            self._quarantine(path, error)
             return False
         return True
+
+    def _quarantine(self, path: Path, error: Exception) -> None:
+        """Move a corrupt cache artifact aside (best-effort) and count it.
+
+        The rename keeps the evidence for operators while taking the
+        artifact out of the rehydrate path (``*.json.corrupt`` never
+        matches the cache glob); warns once per service, counts always.
+        """
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            path.replace(target)
+        except OSError:  # pragma: no cover - racing unlink/permissions
+            pass
+        with self._lock:
+            self._rehydrate_failures += 1
+            warn_first = not self._quarantine_warned
+            self._quarantine_warned = True
+        if warn_first:
+            warnings.warn(
+                f"quarantined corrupt session cache artifact {path.name} -> "
+                f"{target.name}: {type(error).__name__}: {error} "
+                "(further quarantines are counted in stats, not warned)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def _install(
         self, fingerprint: str, session: Analyzer
@@ -242,16 +328,28 @@ class AnalysisService:
         if self.cache_dir is None or not evicted:
             return
         spilled = 0
+        failures = 0
         for fingerprint, session in evicted:
+            path = self.cache_dir / f"{fingerprint}.json"
             try:
+                if _faults.fire("disk.full") is not None:
+                    raise OSError(28, "injected fault: disk full during spill")
                 self.cache_dir.mkdir(parents=True, exist_ok=True)
-                session.save_cache(self.cache_dir / f"{fingerprint}.json")
+                session.save_cache(path)
             except OSError:
+                failures += 1
                 continue
+            if _faults.fire("spill.corrupt") is not None:
+                # Injected spill corruption: truncate the artifact we just
+                # wrote, the way a crash mid-write (or a full disk with
+                # buffered IO) leaves it.  Rehydrate quarantines it later.
+                raw = path.read_bytes()
+                path.write_bytes(raw[: max(1, len(raw) // 2)])
             spilled += 1
-        if spilled:
+        if spilled or failures:
             with self._lock:
                 self._spills += spilled
+                self._spill_failures += failures
 
     def sessions(self) -> dict[str, Analyzer]:
         """A snapshot of the warm pool (fingerprint → session)."""
@@ -270,9 +368,12 @@ class AnalysisService:
         Scans ``directory`` for ``*.json`` session caches (as written by
         :meth:`save_to_cache_dir` or ``repro cache save``), restores each
         into a session with zero block recomputation, and pools it under
-        its recorded fingerprint.  Files that are not session caches, that
-        fail the staleness checks, or that do not record a resolvable
-        workload source are skipped.  Returns the workload names warmed.
+        its recorded fingerprint.  Files that are valid JSON but not
+        session caches, or that do not record a resolvable workload
+        source, are skipped; *corrupt* artifacts (unreadable, bad JSON,
+        failed staleness checks) are quarantined — renamed to
+        ``<name>.corrupt`` and counted in ``rehydrate_failures`` — never
+        silently swallowed.  Returns the workload names warmed.
         """
         directory = Path(directory)
         if not directory.is_dir():
@@ -281,7 +382,8 @@ class AnalysisService:
         for path in sorted(directory.glob("*.json")):
             try:
                 data = json.loads(path.read_text())
-            except (OSError, json.JSONDecodeError):
+            except (OSError, json.JSONDecodeError) as error:
+                self._quarantine(path, error)
                 continue
             if not isinstance(data, dict) or data.get("format") != CACHE_FORMAT:
                 continue
@@ -291,7 +393,8 @@ class AnalysisService:
             try:
                 session = self.fresh_session(source)
                 session.load_cache(path)
-            except (ReproError, ValueError, OSError):
+            except (ReproError, ValueError, OSError) as error:
+                self._quarantine(path, error)
                 continue
             fingerprint = data.get("fingerprint") or session.fingerprint()
             evicted: list[tuple[str, Analyzer]] = []
@@ -366,22 +469,96 @@ class AnalysisService:
         diverge.  Raises :class:`ServiceError` for malformed requests *and*
         for analysis failures (unknown workloads, bad files …), carrying the
         CLI's exit-code-2 semantics either way.
+
+        Top-level calls pass the failure-mode gauntlet: the bounded
+        in-flight gate (shed with 503 + ``Retry-After`` at capacity), the
+        per-request deadline (504 on expiry) and the poisoned-session
+        circuit breaker.  Nested dispatches (batch items) inherit the
+        outer request's gate slot and deadline instead of re-acquiring.
         """
         request = parse_request(kind, data)
         with self._lock:
             self._requests += 1
+        nested = _IN_REQUEST.get()
+        if (
+            not nested
+            and self._inflight is not None
+            and not self._inflight.acquire(blocking=False)
+        ):
+            with self._lock:
+                self._shed += 1
+            raise ServiceError(
+                f"service is at capacity ({self.max_inflight} request(s) "
+                "in flight); retry shortly",
+                kind="overloaded",
+                status=503,
+                retry_after=RETRY_AFTER_SECONDS,
+            )
+        token = None if nested else _IN_REQUEST.set(True)
         try:
-            return request.payload(self)
+            with deadline_scope(None if nested else self.deadline_seconds):
+                _faults.maybe_stall()
+                _faults.maybe_crash()
+                check_deadline(f"{kind} request")
+                payload = request.payload(self)
+        except DeadlineExceeded as error:
+            with self._lock:
+                self._deadline_exceeded += 1
+            raise ServiceError(
+                str(error), kind="deadline_exceeded", status=504
+            ) from error
         except ServiceError:
             raise
         except (ReproError, ValueError, OSError) as error:
             raise ServiceError(str(error), kind="analysis_error") from error
+        except Exception:
+            # Unexpected failure: strike the workload's session (the
+            # poisoned-session circuit breaker) and let the frontend's
+            # catch-all answer the internal_error envelope.
+            self._note_crash(getattr(request, "workload", None))
+            raise
+        finally:
+            if token is not None:
+                _IN_REQUEST.reset(token)
+            if not nested and self._inflight is not None:
+                self._inflight.release()
+        self._note_ok(getattr(request, "workload", None))
+        return payload
+
+    # -- poisoned-session circuit breaker -------------------------------------
+    def _note_crash(self, workload: Any) -> None:
+        """Count one unexpected-exception strike against a workload.
+
+        At ``poison_threshold`` strikes the workload's pooled session is
+        evicted — dropped, not spilled: warm state a crashing handler may
+        have touched must not be re-served or persisted.
+        """
+        if not isinstance(workload, str):
+            return
+        with self._lock:
+            count = self._poison_counts.get(workload, 0) + 1
+            if count < self.poison_threshold:
+                self._poison_counts[workload] = count
+                return
+            self._poison_counts.pop(workload, None)
+            self._poisoned_evictions += 1
+            fingerprint = self._fingerprint_memo.pop(workload, None)
+            if fingerprint is not None:
+                self._pool.pop(fingerprint, None)
+
+    def _note_ok(self, workload: Any) -> None:
+        """A successful dispatch resets the workload's strike count."""
+        if not isinstance(workload, str):
+            return
+        with self._lock:
+            self._poison_counts.pop(workload, None)
 
     # -- diagnostics ---------------------------------------------------------
     def stats(self) -> dict[str, Any]:
         """Pool and per-session cache statistics (the ``/v1/stats`` body)."""
         from repro import __version__  # deferred: repro/__init__ imports us
 
+        _faults.maybe_crash()  # the GET-path injection point
         with self._lock:
             pool = list(self._pool.items())
             requests = self._requests
@@ -395,6 +572,20 @@ class AnalysisService:
                 "oracle_checks": self._watch_oracle_checks,
                 "oracle_mismatches": self._watch_oracle_mismatches,
             }
+            faults = {
+                "shed": self._shed,
+                "deadline_exceeded": self._deadline_exceeded,
+                "spill_failures": self._spill_failures,
+                "poisoned_evictions": self._poisoned_evictions,
+            }
+            rehydrate_failures = self._rehydrate_failures
+        session_faults = [session.fault_info() for _, session in pool]
+        faults["recoveries"] = sum(info["recoveries"] for info in session_faults)
+        faults["degraded_sessions"] = sum(
+            1 for info in session_faults if info["degraded"]
+        )
+        injector = _faults.current_injector()
+        faults["injected"] = None if injector is None else injector.snapshot()
         return {
             "version": __version__,
             "capacity": self.capacity,
@@ -402,12 +593,16 @@ class AnalysisService:
             "backend": self.backend,
             "max_loop_iterations": self.max_loop_iterations,
             "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "deadline_seconds": self.deadline_seconds,
+            "max_inflight": self.max_inflight,
             "requests": requests,
             "pool_hits": hits,
             "pool_misses": misses,
             "spills": spills,
             "rehydrations": rehydrations,
+            "rehydrate_failures": rehydrate_failures,
             "watch": watch,
+            "faults": faults,
             "sessions": [
                 {
                     "fingerprint": fingerprint,

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.detection.subsets import SubsetsReport, _resolve_method, maximal_subsets
 from repro.errors import ProgramError
+from repro.faults import check_deadline
 from repro.summary.settings import ALL_SETTINGS, AnalysisSettings
 from repro.workloads.base import WorkloadSource
 
@@ -206,6 +207,13 @@ def _run_cell(
     value: dict[str, Any] = {}
     name = ""
     for _ in range(spec.repetitions):
+        # Cooperative deadline checkpoint: a grid of many cells is the one
+        # request shape that can outlive any per-request deadline, so each
+        # repetition re-checks before paying for another full task.  (Under
+        # ``cell_jobs`` the pool threads carry no request context, so the
+        # check is a no-op there — grids that opt into intra-request
+        # parallelism own their runtime.)
+        check_deadline("grid cell")
         cell_session = (
             session if session is not None else service.fresh_session(source)
         )

@@ -15,9 +15,12 @@ just ``http.server``.  Routes:
 
 Malformed bodies, unknown routes and analysis failures answer with the
 :class:`~repro.service.requests.ServiceError` envelope (HTTP 400/404) —
-never a traceback; unexpected internal errors answer a generic 500
-envelope.  Request threads hammer warm sessions concurrently, which the
-session-level locking (PR 4) makes safe.
+never a traceback; *unexpected* exceptions route through
+:meth:`ServiceError.internal`, so even a handler crash answers a
+well-formed 500 envelope (the fault tests inject one to prove it).
+Deadline expiries answer 504, shed load answers 503 with a
+``Retry-After`` header.  Request threads hammer warm sessions
+concurrently, which the session-level locking (PR 4) makes safe.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from __future__ import annotations
 import json
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
@@ -33,6 +37,11 @@ from repro.service.requests import REQUEST_KINDS, ServiceError
 
 #: URL prefix of every route.
 API_PREFIX = "/v1/"
+
+#: How long a shutting-down server waits for in-flight requests to finish
+#: before closing anyway (they still run on daemon threads, but their
+#: responses are no longer guaranteed to flush).
+DRAIN_SECONDS = 5.0
 
 
 def _json_bytes(payload: dict[str, Any]) -> bytes:
@@ -54,22 +63,55 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     ):
         self.service = service
         self.quiet = quiet
+        self._inflight_count = 0
+        self._inflight_cv = threading.Condition()
         super().__init__(address, _ServiceRequestHandler)
+
+    def request_started(self) -> None:
+        with self._inflight_cv:
+            self._inflight_count += 1
+
+    def request_finished(self) -> None:
+        with self._inflight_cv:
+            self._inflight_count -= 1
+            self._inflight_cv.notify_all()
+
+    def drain(self, timeout: float = DRAIN_SECONDS) -> int:
+        """Wait for in-flight requests to complete; returns how many were
+        still running when the timeout expired (0 = fully drained)."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight_count > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_cv.wait(remaining)
+            return self._inflight_count
 
 
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer  # narrowed for type checkers
 
-    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+    def _respond(
+        self,
+        status: int,
+        payload: dict[str, Any],
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = _json_bytes(payload)
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _respond_error(self, error: ServiceError) -> None:
-        self._respond(error.status, error.envelope)
+        headers = None
+        if error.retry_after is not None:
+            headers = {"Retry-After": str(error.retry_after)}
+        self._respond(error.status, error.envelope, headers)
 
     def _request_body(self) -> Any:
         length = self.headers.get("Content-Length")
@@ -85,56 +127,55 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             raise ServiceError(f"request body is not valid JSON: {exc}") from None
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self.server.request_started()
         try:
-            if not self.path.startswith(API_PREFIX):
-                raise ServiceError(
-                    f"unknown path {self.path!r}", kind="not_found", status=404
-                )
-            kind = self.path[len(API_PREFIX):]
-            if kind not in REQUEST_KINDS:
-                raise ServiceError(
-                    f"unknown path {self.path!r}; POST one of "
-                    f"{sorted(API_PREFIX + kind for kind in REQUEST_KINDS)}",
-                    kind="not_found",
-                    status=404,
-                )
-            payload = self.server.service.handle(kind, self._request_body())
-        except ServiceError as error:
-            self._respond_error(error)
-        except Exception as error:  # pragma: no cover - defensive
-            self._respond_error(
-                ServiceError(
-                    f"internal error: {type(error).__name__}: {error}",
-                    kind="internal_error",
-                    status=500,
-                )
-            )
-        else:
-            self._respond(200, payload)
+            try:
+                if not self.path.startswith(API_PREFIX):
+                    raise ServiceError(
+                        f"unknown path {self.path!r}", kind="not_found", status=404
+                    )
+                kind = self.path[len(API_PREFIX):]
+                if kind not in REQUEST_KINDS:
+                    raise ServiceError(
+                        f"unknown path {self.path!r}; POST one of "
+                        f"{sorted(API_PREFIX + kind for kind in REQUEST_KINDS)}",
+                        kind="not_found",
+                        status=404,
+                    )
+                payload = self.server.service.handle(kind, self._request_body())
+            except ServiceError as error:
+                self._respond_error(error)
+            except Exception as error:
+                # A crash the service's own taxonomy did not absorb (a bug,
+                # or an injected handler.crash fault): answer the typed
+                # envelope, never a raw traceback or a dropped connection.
+                self._respond_error(ServiceError.internal(error))
+            else:
+                self._respond(200, payload)
+        finally:
+            self.server.request_finished()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self.server.request_started()
         try:
-            if self.path == API_PREFIX + "stats":
-                self._respond(200, self.server.service.stats())
-            elif self.path == API_PREFIX + "healthz":
-                self._respond(200, self.server.service.healthz())
-            else:
-                raise ServiceError(
-                    f"unknown path {self.path!r}; GET {API_PREFIX}stats "
-                    f"or {API_PREFIX}healthz",
-                    kind="not_found",
-                    status=404,
-                )
-        except ServiceError as error:
-            self._respond_error(error)
-        except Exception as error:  # pragma: no cover - defensive
-            self._respond_error(
-                ServiceError(
-                    f"internal error: {type(error).__name__}: {error}",
-                    kind="internal_error",
-                    status=500,
-                )
-            )
+            try:
+                if self.path == API_PREFIX + "stats":
+                    self._respond(200, self.server.service.stats())
+                elif self.path == API_PREFIX + "healthz":
+                    self._respond(200, self.server.service.healthz())
+                else:
+                    raise ServiceError(
+                        f"unknown path {self.path!r}; GET {API_PREFIX}stats "
+                        f"or {API_PREFIX}healthz",
+                        kind="not_found",
+                        status=404,
+                    )
+            except ServiceError as error:
+                self._respond_error(error)
+            except Exception as error:
+                self._respond_error(ServiceError.internal(error))
+        finally:
+            self.server.request_finished()
 
     def log_message(self, format: str, *args: Any) -> None:
         if not self.server.quiet:
@@ -189,6 +230,7 @@ def run_server(server: ServiceHTTPServer, *, handle_sigterm: bool = False) -> No
     finally:
         if installed:
             signal.signal(signal.SIGTERM, previous)
+        server.drain()
         server.server_close()
 
 

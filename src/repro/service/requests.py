@@ -41,17 +41,43 @@ class ServiceError(ReproError):
     as the body — malformed requests get this envelope, never a traceback.
     """
 
-    def __init__(self, message: str, *, kind: str = "invalid_request", status: int = 400):
+    def __init__(
+        self,
+        message: str,
+        *,
+        kind: str = "invalid_request",
+        status: int = 400,
+        retry_after: int | None = None,
+    ):
         super().__init__(message)
         self.kind = kind
         self.status = status
+        #: Seconds after which a retry may succeed (shed-load responses);
+        #: the HTTP frontend also sends it as a ``Retry-After`` header.
+        self.retry_after = retry_after
+
+    @classmethod
+    def internal(cls, error: BaseException) -> "ServiceError":
+        """The envelope for an *unexpected* exception (the defensive
+        catch-alls of the HTTP frontend route through here, so a handler
+        crash answers a well-formed 500 envelope, never a traceback)."""
+        return cls(
+            f"internal error: {type(error).__name__}: {error}",
+            kind="internal_error",
+            status=500,
+        )
 
     @property
     def envelope(self) -> dict[str, Any]:
         """The JSON error body, carrying the CLI's exit-code-2 semantics."""
-        return {
-            "error": {"type": self.kind, "message": str(self), "exit_code": 2}
+        error: dict[str, Any] = {
+            "type": self.kind,
+            "message": str(self),
+            "exit_code": 2,
         }
+        if self.retry_after is not None:
+            error["retry_after"] = self.retry_after
+        return {"error": error}
 
 
 def _require_mapping(data: Any, what: str) -> Mapping[str, Any]:

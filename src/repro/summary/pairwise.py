@@ -59,14 +59,17 @@ The block structure is what enables
 from __future__ import annotations
 
 import os
+import time
 import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, NamedTuple, Sequence
 
 from repro.btp.ltp import LTP
 from repro.btp.statement import READ_TRIGGER_TYPES, Statement
 from repro.errors import ProgramError
+from repro.faults.deadline import check_deadline
 from repro.schema import Schema
 from repro.summary import planes
 from repro.summary.conditions import c_dep_conds, nc_dep_conds, protecting_fks
@@ -83,6 +86,13 @@ from repro.summary.tables import (
 #: The supported block-construction backends (``jobs > 1`` fan-out).
 BACKENDS = ("thread", "process")
 
+#: Pool-rebuild budget after a process-backend fault: one rebuild with
+#: capped exponential backoff, then degrade to the serial kernel for the
+#: store's lifetime (fail-closed — the serial sweep is bit-identical).
+POOL_REBUILD_ATTEMPTS = 1
+_REBUILD_BACKOFF_BASE = 0.05
+_REBUILD_BACKOFF_MAX = 0.5
+
 
 class ProcessDegradeGuard:
     """Per-owner state for the process→serial auto-degrade.
@@ -95,11 +105,16 @@ class ProcessDegradeGuard:
     store owns its own — repeated block builds must not spam stderr.
     """
 
-    __slots__ = ("_cpu_count", "_warned")
+    __slots__ = ("_cpu_count", "_warned", "_fault_warned", "fault_degraded")
 
     def __init__(self) -> None:
         self._cpu_count: int | None = None
         self._warned = False
+        self._fault_warned = False
+        #: Set once the process backend exhausted its pool-rebuild budget:
+        #: every later build under this guard goes straight to the serial
+        #: kernel (fail-closed — identical verdicts, no fan-out).
+        self.fault_degraded = False
 
     def cpu_count(self) -> int:
         """The machine's core count, probed once per guard."""
@@ -117,6 +132,24 @@ class ProcessDegradeGuard:
             "available",
             RuntimeWarning,
             stacklevel=5,
+        )
+
+    def degrade_for_faults(self) -> None:
+        """Degrade process→serial permanently after repeated pool faults.
+
+        One warning per guard owner, same policy as the core-count
+        degrade; the flag is also surfaced through ``fault_info()`` so
+        operators see the degrade in ``/v1/stats``, not just stderr.
+        """
+        self.fault_degraded = True
+        if self._fault_warned:
+            return
+        self._fault_warned = True
+        warnings.warn(
+            "backend='process' degraded to serial block construction "
+            "after repeated worker-pool failures; verdicts are unaffected",
+            RuntimeWarning,
+            stacklevel=4,
         )
 
 
@@ -451,6 +484,17 @@ class EdgeBlockStore:
         self._computed = 0
         self._loaded = 0
         self._hits = 0
+        #: Process-backend fault bookkeeping: how many sweep batches hit a
+        #: broken pool / lost segment and were retried or degraded, plus
+        #: the last failure's description (diagnostics only).
+        self._fault_recoveries = 0
+        self._last_fault: str | None = None
+        #: Ownership token for the shared-memory segment registry — lets
+        #: this store's finalizer unlink only its own orphans.
+        self._owner_token = object()
+        self._segment_finalizer = weakref.finalize(
+            self, planes.cleanup_segments, self._owner_token
+        )
 
     # -- program registration ----------------------------------------------
     def register(self, ltps: Iterable[LTP]) -> None:
@@ -820,6 +864,43 @@ class EdgeBlockStore:
             self._pool = None
             self._pool_workers = 0
 
+    def _process_sweeps(self, arena, plans, use_fk, workers):
+        """The process-backend sweep batch, with crash recovery.
+
+        A dead worker (``BrokenProcessPool``) or a lost/failed
+        shared-memory segment (``OSError``) tears the whole batch down: we
+        unlink this store's orphaned segments, rebuild the pool once with
+        capped exponential backoff and retry.  A second failure degrades
+        the guard to the serial kernel permanently and returns ``None`` —
+        the caller reruns the batch serially, so the installed blocks (and
+        every verdict derived from them) are identical either way.
+        """
+        for attempt in range(POOL_REBUILD_ATTEMPTS + 1):
+            if attempt:
+                time.sleep(
+                    min(
+                        _REBUILD_BACKOFF_BASE * 2 ** (attempt - 1),
+                        _REBUILD_BACKOFF_MAX,
+                    )
+                )
+            try:
+                return planes.process_sweep_blocks(
+                    arena,
+                    plans,
+                    use_fk,
+                    self._process_pool(workers),
+                    workers,
+                    self.plane_kernel,
+                    self._owner_token,
+                )
+            except (BrokenProcessPool, OSError) as error:
+                self._fault_recoveries += 1
+                self._last_fault = f"{type(error).__name__}: {error}"
+                self._shutdown_pool()
+                planes.cleanup_segments(self._owner_token)
+        self._guard.degrade_for_faults()
+        return None
+
     def _ensure_pairs(
         self,
         missing: Sequence[tuple[str, str]],
@@ -828,6 +909,7 @@ class EdgeBlockStore:
     ) -> int:
         """Batch-compute the given pairs: plan sweeps, run them (serially
         or across the shared-memory process pool), install packed blocks."""
+        check_deadline("block construction")
         workers = self.jobs if jobs is None else jobs
         backend = self.backend if backend is None else backend
         if backend not in BACKENDS:
@@ -842,6 +924,11 @@ class EdgeBlockStore:
             self._guard.warn_degraded()
             backend = "thread"
             workers = 1
+        if backend == "process" and self._guard.fault_degraded:
+            # A previous batch exhausted the pool-rebuild budget; stay on
+            # the serial kernel (identical verdicts) for the store's life.
+            backend = "thread"
+            workers = 1
         if workers is None and backend == "process":
             # Asking for the process backend *is* asking for multi-core
             # fan-out; without an explicit jobs= it would otherwise fall
@@ -851,22 +938,18 @@ class EdgeBlockStore:
         arena = self._arena_for(involved)
         use_fk = self.settings.use_foreign_keys
         plans = planes.plan_sweeps(missing)
+        grouped_list = None
         if backend == "process" and workers > 1 and len(missing) > 1:
-            grouped_list = planes.process_sweep_blocks(
-                arena,
-                plans,
-                use_fk,
-                self._process_pool(workers),
-                workers,
-                self.plane_kernel,
-            )
-        else:
-            grouped_list = [
-                planes.sweep_blocks(
-                    arena, plan.sources, plan.targets, use_fk, self.plane_kernel
+            grouped_list = self._process_sweeps(arena, plans, use_fk, workers)
+        if grouped_list is None:
+            grouped_list = []
+            for plan in plans:
+                check_deadline("block construction")
+                grouped_list.append(
+                    planes.sweep_blocks(
+                        arena, plan.sources, plan.targets, use_fk, self.plane_kernel
+                    )
                 )
-                for plan in plans
-            ]
         for plan, grouped in zip(plans, grouped_list):
             for source in plan.sources:
                 for target in plan.targets:
@@ -916,6 +999,17 @@ class EdgeBlockStore:
             "computed": self._computed,
             "loaded": self._loaded,
             "hits": self._hits,
+        }
+
+    def fault_info(self) -> dict[str, object]:
+        """Process-backend fault counters (kept out of :meth:`cache_info`,
+        whose exact shape is a compatibility contract): batches recovered
+        or degraded after a worker/segment failure, whether the guard has
+        degraded to serial, and the last failure seen."""
+        return {
+            "recoveries": self._fault_recoveries,
+            "degraded": self._guard.fault_degraded,
+            "last_fault": self._last_fault,
         }
 
     def plane_info(self) -> dict[str, int]:

@@ -57,6 +57,8 @@ deterministic whatever order tasks complete in.
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import os
 import threading
 import time
@@ -64,6 +66,7 @@ from array import array
 from typing import Iterable, NamedTuple, Sequence
 
 from repro.errors import ProgramError
+from repro.faults import inject as _faults
 from repro.summary.tables import C_CODE_ROWS, ENTRY_COND, ENTRY_TRUE, NC_CODE_ROWS
 
 try:  # pragma: no cover - exercised via both kernel paths in tests
@@ -767,6 +770,73 @@ def coords_from_dense(
 # shared-memory process fan-out
 # ---------------------------------------------------------------------------
 
+#: Parent-side registry of live (created, not yet unlinked) segments, so
+#: abnormal exits can best-effort unlink instead of leaking ``/dev/shm``
+#: entries.  Keyed by segment name; the value carries the mapped object
+#: (unlinking needs one) and an owner token, letting one store's finalizer
+#: clean up after itself without unlinking a concurrent store's batch.
+_LIVE_SEGMENTS: dict[str, tuple[object, object | None]] = {}
+_LIVE_LOCK = threading.Lock()
+_SEGMENT_IDS = itertools.count()
+
+
+def _create_segment(size: int, owner: object | None = None):
+    """A named shared-memory segment, registered for leak cleanup.
+
+    Names are ``repro_<pid>_<n>`` so a test (or an operator) can audit
+    ``/dev/shm`` for this library's residue specifically.
+    """
+    from multiprocessing import shared_memory
+
+    if _faults.fire("shm.attach") is not None:
+        raise OSError("injected fault: shared-memory segment creation failed")
+    name = f"repro_{os.getpid()}_{next(_SEGMENT_IDS)}"
+    segment = shared_memory.SharedMemory(name=name, create=True, size=max(size, 1))
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS[segment.name] = (segment, owner)
+    return segment
+
+
+def _release_segment(segment) -> None:
+    """Close and unlink one segment, dropping it from the live registry."""
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS.pop(segment.name, None)
+    try:
+        segment.close()
+        segment.unlink()
+    except OSError:  # pragma: no cover - already gone (cleanup raced us)
+        pass
+
+
+def live_segments() -> tuple[str, ...]:
+    """Names of segments created but not yet unlinked (leak diagnostics)."""
+    with _LIVE_LOCK:
+        return tuple(sorted(_LIVE_SEGMENTS))
+
+
+def cleanup_segments(owner: object | None = None) -> int:
+    """Best-effort unlink of registered segments; returns how many.
+
+    With ``owner`` only that owner's segments go (a store finalizer
+    cleaning up after itself); without, everything does (the ``repro
+    serve`` SIGTERM path and the :mod:`atexit` hook).  Safe to call any
+    time: normally the sweep's ``finally`` has already emptied the
+    registry and this is a no-op.
+    """
+    with _LIVE_LOCK:
+        doomed = [
+            segment
+            for segment, seg_owner in _LIVE_SEGMENTS.values()
+            if owner is None or seg_owner is owner
+        ]
+    for segment in doomed:
+        _release_segment(segment)
+    return len(doomed)
+
+
+atexit.register(cleanup_segments)
+
+
 #: Worker-side cache of attached segments, keyed by shm name; entries not
 #: referenced by the current task generation are closed (the parent unlinks
 #: segments after every batch, so stale attachments only waste mappings).
@@ -800,15 +870,13 @@ def _prune_segments(keep: set) -> None:
 _PLANE_ORDER = ("writes", "preads", "anyrw", "rp", "fks", "rels", "types")
 
 
-def pack_shared_input(arena: PlaneArena):
+def pack_shared_input(arena: PlaneArena, owner: object | None = None):
     """Copy the arena's planes into one read-only shared-memory segment.
 
     Returns ``(segment, layout)`` where the layout carries the per-plane
     byte offsets and the slot width — everything a worker needs to rebuild
     a :class:`PlaneView` zero-copy from the mapped buffer.
     """
-    from multiprocessing import shared_memory
-
     buffers = arena.buffers()
     offsets: dict[str, tuple[int, int]] = {}
     cursor = 0
@@ -816,7 +884,7 @@ def pack_shared_input(arena: PlaneArena):
         size = buffers[key].nbytes
         offsets[key] = (cursor, size)
         cursor += size
-    segment = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+    segment = _create_segment(cursor, owner)
     for key in _PLANE_ORDER:
         offset, size = offsets[key]
         if size:
@@ -834,6 +902,12 @@ def view_from_shared(buffer: memoryview, layout: dict) -> PlaneView:
 
 def _plane_worker(task: dict) -> int:
     """Compute one row slice of one sweep into the shared output plane."""
+    if task.get("kill"):
+        # Injected worker.kill fault: die the way a real OOM-killed or
+        # segfaulting worker does — no exception, no cleanup — so the
+        # parent observes a genuine BrokenProcessPool and the pool is
+        # genuinely unusable afterwards.
+        os._exit(1)
     _prune_segments({task["input_name"], task["output_name"]})
     input_segment = _attach_segment(task["input_name"])
     output_segment = _attach_segment(task["output_name"])
@@ -858,6 +932,7 @@ def process_sweep_blocks(
     pool,
     workers: int,
     kernel: str | None = None,
+    owner: object | None = None,
 ) -> list[dict[tuple[str, str], tuple[tuple[int, int, bool, bool], ...]]]:
     """Run several sweeps across a process pool, zero-copy via shared memory.
 
@@ -869,7 +944,7 @@ def process_sweep_blocks(
     dict per plan, aligned with ``plans``.
     """
     kernel = resolve_kernel(kernel)
-    input_segment, layout = pack_shared_input(arena)
+    input_segment, layout = pack_shared_input(arena, owner)
     sweeps = []
     cursor = 0
     for plan in plans:
@@ -889,9 +964,11 @@ def process_sweep_blocks(
             }
         )
         cursor += 2 * size
-    from multiprocessing import shared_memory
-
-    output_segment = shared_memory.SharedMemory(create=True, size=max(cursor, 1))
+    try:
+        output_segment = _create_segment(cursor, owner)
+    except OSError:
+        _release_segment(input_segment)
+        raise
     try:
         tasks = []
         total_rows = sum(len(sweep["rows"]) for sweep in sweeps) or 1
@@ -919,6 +996,10 @@ def process_sweep_blocks(
                         "kernel": kernel,
                     }
                 )
+        if tasks and _faults.fire("worker.kill") is not None:
+            # One poison task per batch: the worker that picks it up dies
+            # abruptly (os._exit), breaking the pool for real.
+            tasks.insert(0, {"kill": True})
         if tasks:
             list(pool.map(_plane_worker, tasks))
         results = []
@@ -935,7 +1016,5 @@ def process_sweep_blocks(
             results.append(group_coords(coords, sweep["src_meta"], sweep["dst_meta"]))
         return results
     finally:
-        input_segment.close()
-        input_segment.unlink()
-        output_segment.close()
-        output_segment.unlink()
+        _release_segment(input_segment)
+        _release_segment(output_segment)

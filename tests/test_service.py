@@ -904,3 +904,77 @@ class TestServeShutdown:
         finally:
             if process.poll() is None:
                 process.kill()
+
+    def test_sigterm_under_load_drains_inflight_and_sheds_excess(self, tmp_path):
+        """SIGTERM with a request in flight: the in-flight request drains to
+        a clean 200, excess load got a clean 503, the pool spills, exit 0."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        env.pop("REPRO_FAULTS", None)  # this test installs its own plan
+        cache_dir = tmp_path / "spill"
+        stall_plan = json.dumps(
+            {
+                "seed": 0,
+                "rules": [
+                    {"site": "handler.stall", "every": 1, "times": 1,
+                     "delay_seconds": 2.0}
+                ],
+            }
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--cache-dir", str(cache_dir), "--max-inflight", "1",
+             "--fault-plan", stall_plan],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "listening" in line
+            port = int(line.split("http://")[1].split()[0].rsplit(":", 1)[1])
+
+            def post():
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/v1/analyze",
+                    data=json.dumps({"workload": "smallbank"}).encode(),
+                    method="POST",
+                )
+                try:
+                    with urllib.request.urlopen(request, timeout=15) as response:
+                        return response.status, json.loads(response.read())
+                except urllib.error.HTTPError as error:
+                    return error.code, json.loads(error.read())
+
+            results: dict[str, tuple] = {}
+            stalled = threading.Thread(
+                target=lambda: results.__setitem__("inflight", post())
+            )
+            stalled.start()  # stalls 2s inside the handler, holding the slot
+            time.sleep(0.5)
+            results["shed"] = post()  # gate full: must shed immediately
+            process.send_signal(signal.SIGTERM)  # in-flight request pending
+            stalled.join(timeout=15)
+            deadline = time.time() + 15
+            while process.poll() is None and time.time() < deadline:
+                time.sleep(0.05)
+            assert process.poll() == 0, "serve did not exit cleanly on SIGTERM"
+            status, payload = results["inflight"]
+            assert status == 200 and "robust" in payload
+            status, payload = results["shed"]
+            assert status == 503
+            assert payload["error"]["type"] == "overloaded"
+            remaining = process.stdout.read()
+            assert "spilled 1 warm session(s)" in remaining
+            assert list(cache_dir.glob("*.json"))
+        finally:
+            if process.poll() is None:
+                process.kill()
