@@ -46,7 +46,7 @@ import os
 import sys
 import time
 
-from conftest import record_benchmark
+from conftest import multicore_gated, record_benchmark
 
 from repro.btp.unfold import unfold
 from repro.detection.subsets import (
@@ -304,17 +304,18 @@ def main(argv=None) -> int:
         f"process({args.workers}) {backends['process_seconds'] * 1e3:8.1f} ms  "
         f"process/serial {backends['process_vs_serial']:.2f}x"
     )
-    process_gated = not args.parity_only and cores > 2
+    # The shared skip-not-fail multicore policy lives in conftest; a
+    # parity-only run skips the speed gate regardless of cores.
+    process_gated = not args.parity_only and multicore_gated(
+        "process backend gate"
+    )
     if process_gated and backends["process_vs_serial"] < args.process_threshold:
         failures.append(
             f"process backend {backends['process_vs_serial']:.2f}x vs serial "
             f"< {args.process_threshold:.1f}x"
         )
-    if not process_gated:
-        print(
-            f"  (process gate skipped: "
-            f"{'parity-only run' if args.parity_only else f'{cores} CPU core(s)'})"
-        )
+    if args.parity_only:
+        print("  (process gate skipped: parity-only run)")
 
     subsets = bench_subsets(max(2, args.repetitions // 2))
     for row in subsets:

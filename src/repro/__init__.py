@@ -89,6 +89,7 @@ from repro.errors import (
 )
 from repro.faults import Deadline, FaultPlan, FaultRule
 from repro.schema import ForeignKey, Relation, Schema
+from repro.store import BlockStore
 from repro.service import (
     AdviseRequest,
     AnalysisService,
@@ -120,7 +121,7 @@ from repro.summary import (
 )
 from repro.workloads import Workload
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",
@@ -203,6 +204,7 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "Deadline",
+    "BlockStore",
     # errors
     "ReproError",
     "SchemaError",

@@ -50,6 +50,7 @@ from repro.detection.typeii import find_type2_violation
 from repro.errors import ProgramError
 from repro.faults.deadline import check_deadline
 from repro.schema import Schema
+from repro.store.blockstore import BlockStore
 from repro.summary.fingerprint import schema_fingerprint, workload_fingerprint
 from repro.summary.graph import SummaryEdge, SummaryGraph
 from repro.summary.pairwise import EdgeBlockStore, ProcessDegradeGuard
@@ -167,11 +168,18 @@ class Analyzer:
         max_loop_iterations: int = 2,
         jobs: int | None = None,
         backend: str = "thread",
+        block_store: BlockStore | None = None,
     ):
         self.workload = Workload.resolve(source, schema=schema, name=name)
         self.max_loop_iterations = max_loop_iterations
         self.jobs = jobs
         self.backend = backend
+        #: The cross-session content-addressed block cache every
+        #: per-settings :class:`EdgeBlockStore` reads through and publishes
+        #: into (``None`` → no sharing beyond this session's own lineage).
+        #: Attaching a store never changes a verdict or a
+        #: :meth:`cache_info` counter — see :mod:`repro.store.blockstore`.
+        self.block_store = block_store
         # Remembered for `repro cache load`: a resolvable source string
         # (built-in name or file path), when that is what we were given.
         self._source_hint: str | None = None
@@ -259,6 +267,7 @@ class Analyzer:
                     jobs=self.jobs,
                     backend=self.backend,
                     degrade_guard=self._degrade_guard,
+                    block_store=self.block_store,
                 )
                 self._stores[settings] = store
             return store
@@ -494,6 +503,7 @@ class Analyzer:
                 max_loop_iterations=self.max_loop_iterations,
                 jobs=self.jobs,
                 backend=self.backend,
+                block_store=self.block_store,
             )
             other._source_hint = self._source_hint
             other._ltps_by_program = dict(self._ltps_by_program)
@@ -689,6 +699,23 @@ class Analyzer:
         return {
             "recoveries": sum(info["recoveries"] for info in infos),
             "degraded": self._degrade_guard.fault_degraded,
+        }
+
+    def store_info(self) -> dict[str, object]:
+        """Cross-session block-store counters, aggregated over the
+        session's per-settings stores (kept out of :meth:`cache_info`,
+        whose exact key set is a compatibility contract, following the
+        ``fault_info`` precedent): whether a :class:`repro.store.BlockStore`
+        is attached, how many of this session's blocks were adopted from
+        it instead of computed (``shared_hits``), how many it published,
+        and how many store entries it currently pins (``refs``)."""
+        with self._lock:
+            infos = [store.store_info() for store in self._stores.values()]
+        return {
+            "attached": self.block_store is not None,
+            "shared_hits": sum(info["shared_hits"] for info in infos),
+            "published": sum(info["published"] for info in infos),
+            "refs": sum(info["refs"] for info in infos),
         }
 
     def clear_cache(self) -> None:

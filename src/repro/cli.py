@@ -75,6 +75,7 @@ from repro.experiments.repairs import run_repairs
 from repro.experiments.table2 import run_table2
 from repro.service.core import AnalysisService
 from repro.service.http import make_server, run_server
+from repro.service.workers import reuseport_supported, serve_workers
 from repro.service.requests import (
     AdviseRequest,
     AnalyzeRequest,
@@ -271,43 +272,86 @@ def _cmd_cache_load(args: argparse.Namespace) -> int:
     return 0
 
 
+_SERVE_ROUTES = (
+    "POST /v1/analyze /v1/subsets /v1/graph /v1/advise /v1/watch "
+    "/v1/grid /v1/batch, GET /v1/stats /v1/healthz; "
+    "Ctrl-C or SIGTERM to stop"
+)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
-    if args.fault_plan:
-        # Explicit flag beats the REPRO_FAULTS environment variable.
-        install_plan(FaultPlan.from_source(args.fault_plan))
-    # --cache-dir is both tiers: warm the pool from existing artifacts at
-    # startup, and spill LRU-evicted sessions back to the same directory.
-    service = AnalysisService(
-        capacity=args.capacity,
-        jobs=args.jobs,
-        backend=args.backend,
-        cache_dir=args.cache_dir,
-        deadline_seconds=args.deadline,
-        max_inflight=args.max_inflight,
-    )
-    if args.cache_dir and Path(args.cache_dir).is_dir():
-        warmed = service.warm_from_cache_dir(args.cache_dir)
-        print(
-            f"warmed {len(warmed)} session(s) from {args.cache_dir}"
-            + (f": {', '.join(warmed)}" if warmed else "")
+    if args.workers < 1:
+        raise ReproError(f"--workers must be >= 1, got {args.workers}")
+    if args.block_budget < 0:
+        raise ReproError(f"--block-budget must be >= 0 MiB, got {args.block_budget}")
+    if args.workers > 1 and not reuseport_supported():
+        raise ReproError(
+            "--workers needs SO_REUSEPORT, which this platform lacks; "
+            "run a single-process serve instead"
         )
+    if args.fault_plan:
+        # Explicit flag beats the REPRO_FAULTS environment variable.  With
+        # --workers the plan installs *before* the fork, so every worker
+        # inherits an independent injector with the same seeded plan.
+        install_plan(FaultPlan.from_source(args.fault_plan))
+
+    def build_service() -> AnalysisService:
+        # --cache-dir is both tiers: warm the pool from existing artifacts
+        # at startup, and spill LRU-evicted sessions back to the same
+        # directory.  Runs once per worker process under --workers.
+        service = AnalysisService(
+            capacity=args.capacity,
+            jobs=args.jobs,
+            backend=args.backend,
+            cache_dir=args.cache_dir,
+            deadline_seconds=args.deadline,
+            max_inflight=args.max_inflight,
+            block_budget=args.block_budget * 1024 * 1024,
+        )
+        if args.cache_dir and Path(args.cache_dir).is_dir():
+            warmed = service.warm_from_cache_dir(args.cache_dir)
+            print(
+                f"warmed {len(warmed)} session(s) from {args.cache_dir}"
+                + (f": {', '.join(warmed)}" if warmed else "")
+            )
+        return service
+
+    def shutdown(service: AnalysisService) -> None:
+        # Clean shutdown (Ctrl-C or SIGTERM): spill the warm pool so the
+        # next `repro serve --cache-dir` starts where this one stopped,
+        # and unlink any shared-memory segments a killed worker pool left
+        # behind.
+        if args.cache_dir:
+            saved = service.save_to_cache_dir(args.cache_dir)
+            print(f"spilled {len(saved)} warm session(s) to {args.cache_dir}")
+        planes.cleanup_segments()
+
+    if args.workers > 1:
+        def announce(host: str, port: int, ready: int) -> None:
+            print(
+                f"repro service listening on http://{host}:{port} "
+                f"({ready}/{args.workers} worker(s); {_SERVE_ROUTES})",
+                flush=True,
+            )
+
+        return serve_workers(
+            args.workers,
+            args.host,
+            args.port,
+            build_service,
+            announce=announce,
+            on_shutdown=shutdown,
+        )
+
+    service = build_service()
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(
-        f"repro service listening on http://{host}:{port} "
-        "(POST /v1/analyze /v1/subsets /v1/graph /v1/advise /v1/watch "
-        "/v1/grid /v1/batch, GET /v1/stats /v1/healthz; "
-        "Ctrl-C or SIGTERM to stop)",
+        f"repro service listening on http://{host}:{port} ({_SERVE_ROUTES})",
         flush=True,
     )
     run_server(server, handle_sigterm=True)
-    # Clean shutdown (Ctrl-C or SIGTERM): spill the warm pool so the next
-    # `repro serve --cache-dir` starts where this one stopped, and unlink
-    # any shared-memory segments a killed worker pool left behind.
-    if args.cache_dir:
-        saved = service.save_to_cache_dir(args.cache_dir)
-        print(f"spilled {len(saved)} warm session(s) to {args.cache_dir}")
-    planes.cleanup_segments()
+    shutdown(service)
     return 0
 
 
@@ -505,6 +549,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="JSON|PATH",
         help="install a deterministic fault-injection plan (inline JSON or "
         "a plan file; overrides REPRO_FAULTS) — chaos testing only",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fork N SO_REUSEPORT worker processes sharing the bind address "
+        "(each with its own session pool and fault injector; SIGTERM "
+        "drains all of them)",
+    )
+    serve.add_argument(
+        "--block-budget",
+        type=int,
+        default=64,
+        metavar="MIB",
+        help="byte budget of the content-addressed cross-session block "
+        "store, in MiB (0 disables cross-session block sharing)",
     )
     _add_jobs_argument(serve)
     serve.set_defaults(func=_cmd_serve)

@@ -30,8 +30,11 @@ from contextvars import ContextVar
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Mapping
 
+import os
+
 from repro.analysis.session import CACHE_FORMAT, Analyzer
 from repro.errors import DeadlineExceeded, ProgramError, ReproError
+from repro.store.blockstore import DEFAULT_BUDGET_BYTES, BlockStore
 from repro.faults import inject as _faults
 from repro.faults.deadline import check_deadline, deadline_scope
 from repro.schema import Schema
@@ -106,9 +109,15 @@ class AnalysisService:
         deadline_seconds: float | None = None,
         max_inflight: int | None = None,
         poison_threshold: int = DEFAULT_POISON_THRESHOLD,
+        block_budget: int = DEFAULT_BUDGET_BYTES,
+        block_store: BlockStore | None = None,
     ):
         if capacity < 1:
             raise ProgramError(f"service capacity must be >= 1, got {capacity}")
+        if block_budget < 0:
+            raise ProgramError(
+                f"service block_budget must be >= 0 bytes, got {block_budget}"
+            )
         if backend not in BACKENDS:
             raise ProgramError(
                 f"unknown block-construction backend {backend!r}; "
@@ -133,6 +142,19 @@ class AnalysisService:
         self.deadline_seconds = deadline_seconds
         self.max_inflight = max_inflight
         self.poison_threshold = poison_threshold
+        #: The content-addressed cross-session block cache every session
+        #: this service builds reads through and publishes into — pooled
+        #: sessions, watch/advise forks and grid cells all share warm
+        #: blocks through it (bit-identical verdicts by the content
+        #: addressing contract; see :mod:`repro.store.blockstore`).
+        #: ``block_budget=0`` disables sharing; an explicit ``block_store``
+        #: overrides the budget (e.g. ``BlockStore(None)`` for unbounded).
+        if block_store is not None:
+            self.block_store: BlockStore | None = block_store
+        elif block_budget > 0:
+            self.block_store = BlockStore(block_budget)
+        else:
+            self.block_store = None
         self._inflight = (
             threading.Semaphore(max_inflight) if max_inflight is not None else None
         )
@@ -183,6 +205,7 @@ class AnalysisService:
             max_loop_iterations=self.max_loop_iterations,
             jobs=self.jobs,
             backend=self.backend,
+            block_store=self.block_store,
         )
 
     @staticmethod
@@ -324,6 +347,12 @@ class AnalysisService:
         ``<fingerprint>.json`` instead of dropping it; a later miss on
         the same fingerprint rehydrates from the artifact with zero block
         recomputation.  Must be called without the pool lock held.
+
+        Spills are atomic — written to a pid-suffixed temp file and
+        renamed into place — so the worker processes of ``repro serve
+        --workers N`` can share one cache directory without a reader ever
+        seeing a half-written artifact (the ``.tmp`` suffix keeps temp
+        files out of the ``*.json`` rehydrate glob).
         """
         if self.cache_dir is None or not evicted:
             return
@@ -331,13 +360,16 @@ class AnalysisService:
         failures = 0
         for fingerprint, session in evicted:
             path = self.cache_dir / f"{fingerprint}.json"
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
             try:
                 if _faults.fire("disk.full") is not None:
                     raise OSError(28, "injected fault: disk full during spill")
                 self.cache_dir.mkdir(parents=True, exist_ok=True)
-                session.save_cache(path)
+                session.save_cache(tmp)
+                os.replace(tmp, path)
             except OSError:
                 failures += 1
+                tmp.unlink(missing_ok=True)
                 continue
             if _faults.fire("spill.corrupt") is not None:
                 # Injected spill corruption: truncate the artifact we just
@@ -420,7 +452,15 @@ class AnalysisService:
         paths: list[Path] = []
         for fingerprint, session in self.sessions().items():
             path = directory / f"{fingerprint}.json"
-            session.save_cache(path)
+            # Same atomic write as _spill: concurrent serve workers share
+            # one cache directory.
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            try:
+                session.save_cache(tmp)
+                os.replace(tmp, path)
+            except OSError:
+                tmp.unlink(missing_ok=True)
+                raise
             paths.append(path)
         return paths
 
@@ -603,6 +643,9 @@ class AnalysisService:
             "rehydrate_failures": rehydrate_failures,
             "watch": watch,
             "faults": faults,
+            "store": (
+                None if self.block_store is None else self.block_store.info()
+            ),
             "sessions": [
                 {
                     "fingerprint": fingerprint,

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import signal
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -50,7 +51,13 @@ def _json_bytes(payload: dict[str, Any]) -> bytes:
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one :class:`AnalysisService`."""
+    """A threading HTTP server bound to one :class:`AnalysisService`.
+
+    ``reuseport=True`` binds with ``SO_REUSEPORT``, so several worker
+    processes can listen on the *same* address and the kernel distributes
+    accepted connections among them — the substrate of ``repro serve
+    --workers N`` (see :mod:`repro.service.workers`).
+    """
 
     daemon_threads = True
 
@@ -60,12 +67,21 @@ class ServiceHTTPServer(ThreadingHTTPServer):
         service: AnalysisService,
         *,
         quiet: bool = False,
+        reuseport: bool = False,
     ):
         self.service = service
         self.quiet = quiet
+        self.reuseport = reuseport
+        if reuseport and not hasattr(socket, "SO_REUSEPORT"):
+            raise OSError("SO_REUSEPORT is not supported on this platform")
         self._inflight_count = 0
         self._inflight_cv = threading.Condition()
         super().__init__(address, _ServiceRequestHandler)
+
+    def server_bind(self) -> None:
+        if self.reuseport:
+            self.socket.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        super().server_bind()
 
     def request_started(self) -> None:
         with self._inflight_cv:
@@ -188,14 +204,16 @@ def make_server(
     port: int = 8000,
     *,
     quiet: bool = False,
+    reuseport: bool = False,
 ) -> ServiceHTTPServer:
     """Bind (but do not start) the service's HTTP server.
 
     ``port=0`` binds an ephemeral port (see ``server.server_address``) —
     what the tests and the benchmark use.  Call ``serve_forever()`` on the
-    result, or hand it to a thread.
+    result, or hand it to a thread.  ``reuseport=True`` lets several
+    processes share the address (the ``--workers`` fan-out).
     """
-    return ServiceHTTPServer((host, port), service, quiet=quiet)
+    return ServiceHTTPServer((host, port), service, quiet=quiet, reuseport=reuseport)
 
 
 def run_server(server: ServiceHTTPServer, *, handle_sigterm: bool = False) -> None:

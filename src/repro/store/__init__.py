@@ -1,0 +1,23 @@
+"""repro.store — the content-addressed cross-session block store.
+
+See :mod:`repro.store.blockstore` for the design notes; attach a
+:class:`BlockStore` via ``Analyzer(..., block_store=store)`` or let
+:class:`repro.service.AnalysisService` build one per service (the
+default), surfaced as the ``store`` block of ``GET /v1/stats``.
+"""
+
+from repro.store.blockstore import (
+    DEFAULT_BUDGET_BYTES,
+    BlockKey,
+    BlockStore,
+    PackedBlock,
+    entry_bytes,
+)
+
+__all__ = [
+    "BlockStore",
+    "BlockKey",
+    "PackedBlock",
+    "DEFAULT_BUDGET_BYTES",
+    "entry_bytes",
+]

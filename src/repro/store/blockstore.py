@@ -1,0 +1,218 @@
+"""A thread-safe, content-addressed store of pairwise edge blocks.
+
+Algorithm 1 is per ordered program pair, and since PR 4/5 every block is
+identified by per-program ``Unfold≤k`` content hashes
+(:mod:`repro.summary.fingerprint`).  That makes blocks content-addressable
+for free: two sessions whose workloads differ in one program agree —
+*exactly*, not heuristically — on every block not involving the differing
+program, which is the same pair-decomposition the template line of work
+exploits (Vandevoort et al. 2021/2022).
+
+:class:`BlockStore` is the cross-session half of that observation.  An
+:class:`~repro.summary.pairwise.EdgeBlockStore` attached to one reads
+through it before computing a missing block and publishes what it does
+compute, so warm blocks are shared across pooled service sessions, forks,
+grid cells and repair candidates — ``seed_from`` shares only within a
+session lineage; the block store shares across lineages.
+
+Entries are refcounted: every session-level adoption of an entry pins it,
+and only unpinned entries (refcount zero, every adopting session gone or
+cleared) are eligible for eviction.  Eviction is LRU over the unpinned
+set under a byte budget — the multi-tenant capacity lever that replaces
+"evict a whole session" as the only knob.
+
+Exactness contract.  Keys are ``(schema fingerprint, settings label,
+program fingerprint i, program fingerprint j)``.  The schema fingerprint
+is required because tuple-granularity widening consults
+``schema.attributes``; the unfolding depth ``k`` needs no key component
+because program fingerprints hash the *post-unfold* LTP content — two
+different ``max_loop_iterations`` values that matter produce different
+LTPs and therefore different keys.  Packed block coordinates are a pure
+function of that key (the batch kernel is deterministic), so a hit is
+bit-identical to a recomputation by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+#: One block key: ``(schema_fp, settings_label, program_fp_i, program_fp_j)``.
+BlockKey = tuple[str, str, str, str]
+
+#: One packed block: the batch kernel's per-pair occurrence coordinates
+#: ``(source_occurrence, target_occurrence, non_counterflow, counterflow)``.
+PackedBlock = tuple[tuple[int, int, bool, bool], ...]
+
+#: Deterministic per-entry byte estimate: a 4-tuple of small ints/bools
+#: costs ~72 bytes of tuple header + slots on CPython; the entry adds the
+#: outer tuple, key strings and bookkeeping.  Estimates, not measurements —
+#: the budget needs a *stable* ordering measure, not an exact allocator
+#: profile (``sys.getsizeof`` is neither recursive nor stable across
+#: builds, and the same entry must weigh the same in every worker).
+ENTRY_OVERHEAD_BYTES = 512
+COORD_BYTES = 72
+
+#: Default byte budget: 64 MiB of packed coordinates — thousands of
+#: workload-sized blocks, small next to one warm session's graphs.
+DEFAULT_BUDGET_BYTES = 64 * 1024 * 1024
+
+
+def entry_bytes(coords: PackedBlock) -> int:
+    """The deterministic byte estimate the budget charges one entry."""
+    return ENTRY_OVERHEAD_BYTES + COORD_BYTES * len(coords)
+
+
+class _Entry:
+    __slots__ = ("coords", "bytes", "refs")
+
+    def __init__(self, coords: PackedBlock):
+        self.coords = coords
+        self.bytes = entry_bytes(coords)
+        self.refs = 0
+
+
+class BlockStore:
+    """The content-addressed, refcounted block cache shared across sessions.
+
+    All operations take one internal lock, so a store may serve every
+    thread of a service pool concurrently.  ``budget_bytes`` bounds the
+    *unpinned* + pinned estimate; entries pinned by live sessions are
+    never evicted (the sessions hold Python references to the coordinate
+    tuples anyway — evicting the index entry would save nothing and lose
+    the sharing).  ``None`` means unbounded.
+    """
+
+    def __init__(self, budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES):
+        if budget_bytes is not None and budget_bytes < 0:
+            raise ValueError(
+                f"block-store byte budget must be >= 0, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self._lock = threading.Lock()
+        self._entries: dict[BlockKey, _Entry] = {}
+        #: Unpinned keys (refcount zero) in LRU order: oldest first.
+        self._unpinned: OrderedDict[BlockKey, None] = OrderedDict()
+        self._bytes = 0
+        self._shared_hits = 0
+        self._misses = 0
+        self._publishes = 0
+        self._evictions = 0
+
+    # -- the read-through / publish protocol --------------------------------
+    def get(self, key: BlockKey) -> Optional[PackedBlock]:
+        """The stored block for ``key``, pinning it for the caller.
+
+        A hit takes one reference (balance it with :meth:`release`) and
+        counts under ``shared_hits`` — it stands for one avoided block
+        computation.  A miss counts under ``misses`` and returns ``None``.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            entry.refs += 1
+            self._unpinned.pop(key, None)
+            self._shared_hits += 1
+            return entry.coords
+
+    def publish(self, key: BlockKey, coords: PackedBlock) -> PackedBlock:
+        """Insert a freshly computed block, pinning it for the caller.
+
+        Returns the *canonical* coordinates: the first publisher's tuple
+        wins, so concurrent publishers of the same content converge on one
+        shared object (content addressing makes their tuples equal by
+        construction).  Takes one reference either way.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = _Entry(coords)
+                self._entries[key] = entry
+                self._bytes += entry.bytes
+                self._publishes += 1
+            entry.refs += 1
+            self._unpinned.pop(key, None)
+            self._evict_over_budget()
+            return entry.coords
+
+    def retain(self, key: BlockKey) -> bool:
+        """Take one more reference on an entry (``seed_from`` sharing).
+
+        Returns ``False`` if the entry is gone (evicted or cleared) — the
+        caller then simply holds no store reference for that block.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            entry.refs += 1
+            self._unpinned.pop(key, None)
+            return True
+
+    def release(self, key: BlockKey) -> None:
+        """Drop one reference; at zero the entry becomes evictable (MRU
+        end of the unpinned LRU).  Releasing a key that was evicted after
+        :meth:`clear` is a no-op — sessions outliving a cleared store must
+        not crash on teardown."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return
+            if entry.refs > 0:
+                entry.refs -= 1
+            if entry.refs == 0:
+                self._unpinned.pop(key, None)
+                self._unpinned[key] = None
+                self._evict_over_budget()
+
+    # -- eviction ------------------------------------------------------------
+    def _evict_over_budget(self) -> None:
+        """Evict oldest unpinned entries while over budget (lock held)."""
+        if self.budget_bytes is None:
+            return
+        while self._bytes > self.budget_bytes and self._unpinned:
+            key, _ = self._unpinned.popitem(last=False)
+            entry = self._entries.pop(key)
+            self._bytes -= entry.bytes
+            self._evictions += 1
+
+    # -- diagnostics ---------------------------------------------------------
+    def info(self) -> dict[str, object]:
+        """Store counters (the ``store`` block of ``GET /v1/stats``)."""
+        with self._lock:
+            return {
+                "unique_blocks": len(self._entries),
+                "pinned_blocks": len(self._entries) - len(self._unpinned),
+                "bytes": self._bytes,
+                "budget_bytes": self.budget_bytes,
+                "shared_hits": self._shared_hits,
+                "misses": self._misses,
+                "publishes": self._publishes,
+                "evictions": self._evictions,
+            }
+
+    def clear(self) -> None:
+        """Drop every entry and counter (sessions holding refs keep their
+        local blocks; their later releases become no-ops)."""
+        with self._lock:
+            self._entries.clear()
+            self._unpinned.clear()
+            self._bytes = 0
+            self._shared_hits = 0
+            self._misses = 0
+            self._publishes = 0
+            self._evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        info = self.info()
+        return (
+            f"BlockStore(blocks={info['unique_blocks']}, "
+            f"bytes={info['bytes']}, shared_hits={info['shared_hits']})"
+        )

@@ -71,8 +71,10 @@ from repro.btp.statement import READ_TRIGGER_TYPES, Statement
 from repro.errors import ProgramError
 from repro.faults.deadline import check_deadline
 from repro.schema import Schema
+from repro.store.blockstore import BlockKey, BlockStore
 from repro.summary import planes
 from repro.summary.conditions import c_dep_conds, nc_dep_conds, protecting_fks
+from repro.summary.fingerprint import program_fingerprint, schema_fingerprint
 from repro.summary.graph import SummaryEdge, SummaryGraph
 from repro.summary.settings import AnalysisSettings, Granularity
 from repro.summary.tables import (
@@ -155,6 +157,13 @@ class ProcessDegradeGuard:
 
 def _shutdown_executor(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _release_store_refs(store: BlockStore, refs: dict) -> None:
+    """Finalizer body: release every store reference a dead session held."""
+    for key in refs.values():
+        store.release(key)
+    refs.clear()
 
 
 class BlockSummary(NamedTuple):
@@ -444,6 +453,7 @@ class EdgeBlockStore:
         backend: str = "thread",
         degrade_guard: ProcessDegradeGuard | None = None,
         plane_kernel: str | None = None,
+        block_store: BlockStore | None = None,
     ):
         if backend not in BACKENDS:
             raise ProgramError(
@@ -495,6 +505,28 @@ class EdgeBlockStore:
         self._segment_finalizer = weakref.finalize(
             self, planes.cleanup_segments, self._owner_token
         )
+        #: The cross-session content-addressed cache this store reads
+        #: through and publishes into (``None`` → no sharing; see
+        #: :mod:`repro.store.blockstore`).  Adopted blocks still count
+        #: under ``computed`` in :meth:`cache_info` — the counter means
+        #: "blocks made present by this store", so churn traces and every
+        #: counter-shaped contract stay bit-identical with or without a
+        #: block store attached; sharing is observable via
+        #: :meth:`store_info` only.
+        self.block_store = block_store
+        #: Store reference per cached pair (released on discard/clear/GC).
+        self._store_refs: dict[tuple[str, str], BlockKey] = {}
+        #: Per-program content fingerprints (key components), memoized —
+        #: dropped on :meth:`discard` so a replacement re-hashes.
+        self._ltp_fps: dict[str, str] = {}
+        self._schema_fp: str | None = None
+        self._shared_hits = 0
+        self._published = 0
+        self._store_finalizer = None
+        if block_store is not None:
+            self._store_finalizer = weakref.finalize(
+                self, _release_store_refs, block_store, self._store_refs
+            )
 
     # -- program registration ----------------------------------------------
     def register(self, ltps: Iterable[LTP]) -> None:
@@ -528,6 +560,7 @@ class EdgeBlockStore:
                 continue
             del self._ltps[name]
             del self._profiles[name]
+            self._ltp_fps.pop(name, None)
             if self._arena is not None:
                 self._arena.remove(name)
             for pair in self._pairs_by_name.pop(name):
@@ -536,6 +569,7 @@ class EdgeBlockStore:
                     self._packed.pop(pair, None)
                     self._flags.pop(pair, None)
                     self._summaries.pop(pair, None)
+                    self._release_ref(pair)
                     other = pair[1] if pair[0] == name else pair[0]
                     if other != name and other in self._pairs_by_name:
                         self._pairs_by_name[other].discard(pair)
@@ -787,6 +821,13 @@ class EdgeBlockStore:
             self._packed[pair] = coords
         self._flags.update(other._flags)
         self._summaries.update(other._summaries)
+        self._ltp_fps.update(other._ltp_fps)
+        if self.block_store is not None and self.block_store is other.block_store:
+            # Forks pin the same cross-session entries as their parent, so
+            # a shared block stays pinned as long as *any* lineage uses it.
+            for pair, key in other._store_refs.items():
+                if pair not in self._store_refs and self.block_store.retain(key):
+                    self._store_refs[pair] = key
 
     def ensure_blocks(
         self,
@@ -901,6 +942,49 @@ class EdgeBlockStore:
         self._guard.degrade_for_faults()
         return None
 
+    # -- cross-session block store ------------------------------------------
+    def _store_key(self, pair: tuple[str, str]) -> BlockKey:
+        """The content address of one pair's block: ``(schema fp, settings
+        label, program fp i, program fp j)``.  The unfold depth ``k``
+        needs no component — program fingerprints hash post-unfold LTP
+        content (see :mod:`repro.store.blockstore`)."""
+        if self._schema_fp is None:
+            self._schema_fp = schema_fingerprint(self.schema)
+        fps = self._ltp_fps
+        parts: list[str] = []
+        for name in pair:
+            fp = fps.get(name)
+            if fp is None:
+                fp = fps[name] = program_fingerprint([self._ltps[name]])
+            parts.append(fp)
+        return (self._schema_fp, self.settings.label, parts[0], parts[1])
+
+    def _adopt_ref(self, pair: tuple[str, str], key: BlockKey) -> None:
+        """Record one already-taken store reference for ``pair``."""
+        old = self._store_refs.get(pair)
+        if old is not None and old != key:
+            self.block_store.release(old)
+        self._store_refs[pair] = key
+
+    def _release_ref(self, pair: tuple[str, str]) -> None:
+        key = self._store_refs.pop(pair, None)
+        if key is not None and self.block_store is not None:
+            self.block_store.release(key)
+
+    def store_info(self) -> dict[str, object]:
+        """Cross-session sharing counters (kept out of :meth:`cache_info`,
+        whose exact shape is a compatibility contract, following the
+        ``fault_info`` precedent): whether a block store is attached, how
+        many of this store's blocks were adopted from it instead of
+        computed, how many were published into it, and how many entries
+        this store currently pins."""
+        return {
+            "attached": self.block_store is not None,
+            "shared_hits": self._shared_hits,
+            "published": self._published,
+            "refs": len(self._store_refs),
+        }
+
     def _ensure_pairs(
         self,
         missing: Sequence[tuple[str, str]],
@@ -908,8 +992,31 @@ class EdgeBlockStore:
         backend: str | None,
     ) -> int:
         """Batch-compute the given pairs: plan sweeps, run them (serially
-        or across the shared-memory process pool), install packed blocks."""
+        or across the shared-memory process pool), install packed blocks.
+
+        With a :class:`~repro.store.BlockStore` attached, each missing
+        pair is first looked up by content address — a hit adopts the
+        stored coordinates (bit-identical to recomputation by the
+        exactness contract) and skips the kernel; the pairs actually
+        computed are published back.  Returns the number of blocks made
+        present either way, so callers' hit accounting is unchanged."""
         check_deadline("block construction")
+        requested = len(missing)
+        store = self.block_store
+        if store is not None:
+            unshared: list[tuple[str, str]] = []
+            for pair in missing:
+                key = self._store_key(pair)
+                coords = store.get(key)
+                if coords is None:
+                    unshared.append(pair)
+                else:
+                    self._install_packed(pair, coords)
+                    self._adopt_ref(pair, key)
+                    self._shared_hits += 1
+            missing = unshared
+            if not missing:
+                return requested
         workers = self.jobs if jobs is None else jobs
         backend = self.backend if backend is None else backend
         if backend not in BACKENDS:
@@ -954,8 +1061,18 @@ class EdgeBlockStore:
             for source in plan.sources:
                 for target in plan.targets:
                     pair = (source, target)
-                    self._install_packed(pair, grouped[pair])
-        return len(missing)
+                    coords = grouped[pair]
+                    if store is not None:
+                        key = self._store_key(pair)
+                        # publish() returns the canonical tuple, so
+                        # concurrent sessions converge on one shared object.
+                        coords = store.publish(key, coords)
+                        self._install_packed(pair, coords)
+                        self._adopt_ref(pair, key)
+                        self._published += 1
+                    else:
+                        self._install_packed(pair, coords)
+        return requested
 
     # -- assembly -----------------------------------------------------------
     def graph(
@@ -1036,7 +1153,8 @@ class EdgeBlockStore:
         return dict(self._blocks)
 
     def clear(self) -> None:
-        """Drop all programs, profiles, blocks, planes, and counters."""
+        """Drop all programs, profiles, blocks, planes, and counters
+        (releasing every cross-session store reference)."""
         self._ltps.clear()
         self._profiles.clear()
         self._blocks.clear()
@@ -1044,11 +1162,17 @@ class EdgeBlockStore:
         self._pairs_by_name.clear()
         self._flags.clear()
         self._summaries.clear()
+        if self.block_store is not None:
+            _release_store_refs(self.block_store, self._store_refs)
+        self._store_refs.clear()
+        self._ltp_fps.clear()
         self._arena = None
         self._shutdown_pool()
         self._computed = 0
         self._loaded = 0
         self._hits = 0
+        self._shared_hits = 0
+        self._published = 0
 
     def __repr__(self) -> str:
         return (

@@ -978,3 +978,160 @@ class TestServeShutdown:
         finally:
             if process.poll() is None:
                 process.kill()
+
+
+# ---------------------------------------------------------------------------
+# the cross-session block store in the service
+# ---------------------------------------------------------------------------
+
+class TestServiceBlockStore:
+    def test_stats_surface_store_counters(self):
+        service = AnalysisService()
+        service.handle("analyze", {"workload": "smallbank"})
+        store = service.stats()["store"]
+        assert store is not None
+        for key in ("shared_hits", "evictions", "bytes", "unique_blocks",
+                    "publishes", "budget_bytes"):
+            assert key in store
+        assert store["publishes"] > 0
+        json.dumps(service.stats())  # still JSON-serializable as-is
+
+    def test_zero_budget_disables_the_store(self):
+        service = AnalysisService(block_budget=0)
+        service.handle("analyze", {"workload": "smallbank"})
+        assert service.block_store is None
+        assert service.stats()["store"] is None
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ProgramError):
+            AnalysisService(block_budget=-1)
+
+    def test_pooled_sessions_share_blocks_across_workloads(self):
+        """Two pool entries over the same schema adopt each other's blocks
+        (the cross-tenant case the bench gates on), with payloads identical
+        to a store-disabled service."""
+        template = """\
+WORKLOAD Tenant
+TABLE Account (account_id*, balance)
+PROGRAM Deposit
+UPDATE Account SET balance = balance + :n WHERE account_id = :a;
+COMMIT;
+END
+PROGRAM Audit
+{audit}
+COMMIT;
+END
+"""
+        tenant_a = template.format(
+            audit="SELECT account_id, balance FROM Account WHERE balance < 0;"
+        )
+        tenant_b = template.format(
+            audit="SELECT account_id FROM Account WHERE balance < 0;"
+        )
+        shared = AnalysisService()
+        unshared = AnalysisService(block_budget=0)
+        payloads = [
+            service.handle("analyze", {"workload": source})
+            for service in (shared, unshared)
+            for source in (tenant_a, tenant_b)
+        ]
+        assert payloads[:2] == payloads[2:]
+        assert shared.block_store.info()["shared_hits"] > 0
+        assert unshared.stats()["store"] is None
+
+
+# ---------------------------------------------------------------------------
+# the multi-process frontend: repro serve --workers N
+# ---------------------------------------------------------------------------
+
+class TestServeWorkers:
+    def test_workers_flag_validation(self, capsys):
+        assert cli_main(["serve", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+        assert cli_main(["serve", "--block-budget", "-1"]) == 2
+        assert "--block-budget" in capsys.readouterr().err
+
+    def test_sigterm_under_load_drains_every_worker_to_exit_zero(self, tmp_path):
+        """SIGTERM to the parent while a request stalls in a worker: the
+        in-flight request drains to 200, every worker spills and exits 0,
+        and the parent's exit code is 0."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        pytest.importorskip("socket")
+        import socket as socket_module
+
+        if not hasattr(socket_module, "SO_REUSEPORT"):
+            pytest.skip("platform lacks SO_REUSEPORT")
+
+        env = dict(os.environ)
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        env["PYTHONPATH"] = os.path.join(root, "src")
+        env.pop("REPRO_FAULTS", None)
+        cache_dir = tmp_path / "spill"
+        stall_plan = json.dumps(
+            {
+                "seed": 0,
+                "rules": [
+                    {"site": "handler.stall", "every": 1, "times": 1,
+                     "delay_seconds": 2.0}
+                ],
+            }
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--cache-dir", str(cache_dir),
+             "--fault-plan", stall_plan],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "listening" in line
+            assert "2/2 worker(s)" in line
+            port = int(line.split("http://")[1].split()[0].rsplit(":", 1)[1])
+
+            def post():
+                request = urllib.request.Request(
+                    f"http://127.0.0.1:{port}/v1/analyze",
+                    data=json.dumps({"workload": "smallbank"}).encode(),
+                    method="POST",
+                )
+                try:
+                    with urllib.request.urlopen(request, timeout=20) as response:
+                        return response.status, json.loads(response.read())
+                except urllib.error.HTTPError as error:
+                    return error.code, json.loads(error.read())
+
+            results: dict[str, tuple] = {}
+            stalled = threading.Thread(
+                target=lambda: results.__setitem__("inflight", post())
+            )
+            stalled.start()  # stalls 2s inside whichever worker accepted it
+            time.sleep(0.5)
+            process.send_signal(signal.SIGTERM)  # request still in flight
+            stalled.join(timeout=20)
+            deadline = time.time() + 20
+            while process.poll() is None and time.time() < deadline:
+                time.sleep(0.05)
+            assert process.poll() == 0, "workers did not drain to exit 0"
+            status, payload = results["inflight"]
+            assert status == 200 and "robust" in payload
+            remaining = process.stdout.read()
+            assert "spilled 1 warm session(s)" in remaining
+            assert list(cache_dir.glob("*.json"))
+            assert not list(cache_dir.glob("*.tmp")), "atomic spill left a tmp"
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+    def test_serve_workers_requires_at_least_two(self):
+        from repro.service.workers import serve_workers
+
+        with pytest.raises(ValueError, match=">= 2"):
+            serve_workers(1, "127.0.0.1", 0, AnalysisService)

@@ -1,0 +1,331 @@
+"""Tests for the cross-session content-addressed block store.
+
+Three layers:
+
+* :class:`BlockStore` unit semantics — refcount pinning, canonical
+  publish, LRU eviction under the byte budget, clear/release hygiene;
+* the exactness contract — two sessions whose workloads are one program
+  apart share exactly ``(n - r)**2`` blocks (``n`` LTPs total, ``r`` LTPs
+  of the differing program) with bit-identical
+  :meth:`RobustnessReport.to_dict` output vs a store-disabled session,
+  property-tested over every builtin workload x all four settings rows;
+* refcount hygiene under churn — 500 ``replace_program`` cycles against a
+  deliberately tiny budget leak no entries, keep bytes bounded, and leave
+  zero pinned blocks once the sessions are gone.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+from hypothesis import HealthCheck, given, settings as hyp_settings, strategies as st
+
+from repro.analysis import Analyzer
+from repro.btp.program import BTP, seq
+from repro.btp.statement import Statement
+from repro.store import BlockStore, entry_bytes
+from repro.store.blockstore import ENTRY_OVERHEAD_BYTES
+from repro.summary.settings import ALL_SETTINGS, ATTR_DEP_FK
+from repro.workloads import WORKLOADS, get_workload
+
+
+def _key(tag: str) -> tuple[str, str, str, str]:
+    return ("schema", "label", f"fp_{tag}", f"fp_{tag}")
+
+
+_COORDS: tuple = ((0, 0, True, False),)
+
+
+class TestBlockStoreUnit:
+    def test_miss_then_publish_then_hit(self):
+        store = BlockStore()
+        assert store.get(_key("a")) is None
+        published = store.publish(_key("a"), _COORDS)
+        assert published == _COORDS
+        assert store.get(_key("a")) is published
+        info = store.info()
+        assert info["shared_hits"] == 1
+        assert info["misses"] == 1
+        assert info["publishes"] == 1
+        assert info["unique_blocks"] == 1
+
+    def test_first_publisher_wins_canonical_coords(self):
+        store = BlockStore()
+        first = ((0, 0, True, False),)
+        second = ((0, 0, True, False),)  # equal content, distinct object
+        assert store.publish(_key("a"), first) is first
+        assert store.publish(_key("a"), second) is first
+        assert store.info()["publishes"] == 1
+
+    def test_pinned_entries_survive_over_budget(self):
+        # Budget far below one entry: as long as the publisher holds its
+        # reference the entry must stay (evicting it would only break
+        # sharing without freeing the coords the session still holds).
+        store = BlockStore(budget_bytes=1)
+        store.publish(_key("a"), _COORDS)
+        assert store.info()["unique_blocks"] == 1
+        assert store.info()["pinned_blocks"] == 1
+        store.release(_key("a"))
+        # Last reference gone: the entry is now evictable and the budget
+        # claims it immediately.
+        info = store.info()
+        assert info["unique_blocks"] == 0
+        assert info["evictions"] == 1
+        assert info["bytes"] == 0
+
+    def test_eviction_is_lru_oldest_unpinned_first(self):
+        per_entry = entry_bytes(_COORDS)
+        store = BlockStore(budget_bytes=2 * per_entry)
+        for tag in ("a", "b", "c"):
+            store.publish(_key(tag), _COORDS)
+            store.release(_key(tag))
+        # Three unpinned entries against a two-entry budget: "a" (oldest)
+        # must be the one evicted.
+        assert store.get(_key("a")) is None
+        assert store.get(_key("b")) is not None
+        assert store.get(_key("c")) is not None
+        assert store.info()["evictions"] == 1
+
+    def test_get_repins_an_unpinned_entry(self):
+        per_entry = entry_bytes(_COORDS)
+        store = BlockStore(budget_bytes=2 * per_entry)
+        for tag in ("a", "b"):
+            store.publish(_key(tag), _COORDS)
+            store.release(_key(tag))
+        assert store.get(_key("a")) is not None  # re-pin the oldest
+        store.publish(_key("c"), _COORDS)
+        store.release(_key("c"))
+        # Over budget with "a" pinned again: "b" is the oldest *unpinned*.
+        assert store.get(_key("b")) is None
+        assert store.get(_key("a")) is not None
+
+    def test_retain_and_release_balance(self):
+        store = BlockStore(budget_bytes=1)
+        store.publish(_key("a"), _COORDS)
+        assert store.retain(_key("a")) is True  # refs: 2
+        store.release(_key("a"))  # refs: 1 -> still pinned
+        assert store.info()["unique_blocks"] == 1
+        store.release(_key("a"))  # refs: 0 -> evicted (budget 1)
+        assert store.info()["unique_blocks"] == 0
+        assert store.retain(_key("a")) is False
+
+    def test_release_after_clear_is_a_noop(self):
+        store = BlockStore()
+        store.publish(_key("a"), _COORDS)
+        store.clear()
+        store.release(_key("a"))  # must not raise
+        assert store.info()["unique_blocks"] == 0
+        assert store.info()["publishes"] == 0
+
+    def test_zero_budget_keeps_only_pinned_entries(self):
+        store = BlockStore(budget_bytes=0)
+        store.publish(_key("a"), _COORDS)
+        assert store.info()["unique_blocks"] == 1
+        store.release(_key("a"))
+        assert store.info()["unique_blocks"] == 0
+
+    def test_none_budget_never_evicts(self):
+        store = BlockStore(budget_bytes=None)
+        for index in range(100):
+            key = _key(str(index))
+            store.publish(key, _COORDS)
+            store.release(key)
+        info = store.info()
+        assert info["unique_blocks"] == 100
+        assert info["evictions"] == 0
+        assert info["bytes"] == 100 * entry_bytes(_COORDS)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            BlockStore(budget_bytes=-1)
+
+    def test_entry_bytes_is_deterministic(self):
+        coords = tuple((i, i, True, False) for i in range(7))
+        assert entry_bytes(coords) == ENTRY_OVERHEAD_BYTES + 72 * 7
+        assert entry_bytes(coords) == entry_bytes(tuple(coords))
+
+
+def _variant_balance(workload) -> BTP:
+    """A modified SmallBank Balance (same shape as test_incremental's)."""
+    savings = workload.schema.relation("Savings")
+    checking = workload.schema.relation("Checking")
+    return BTP(
+        "Balance",
+        seq(
+            Statement.key_select("q7", savings, reads=["Balance"]),
+            Statement.key_select("q8", checking, reads=["Balance"]),
+            Statement.key_select("q8b", checking, reads=["Balance"]),
+        ),
+    )
+
+
+class TestCrossSessionSharing:
+    def test_one_program_apart_shares_exactly_n_minus_r_squared(self):
+        """Replace one program: every block not involving it is adopted."""
+        store = BlockStore()
+        tenant_a = Analyzer("smallbank", block_store=store)
+        tenant_a.analyze(ATTR_DEP_FK)
+        total = len(tenant_a.unfolded())
+        replaced = len(tenant_a.unfolded(["Balance"]))
+
+        workload = tenant_a.workload
+        variant_programs = [
+            _variant_balance(workload) if p.name == "Balance" else p
+            for p in workload.programs
+        ]
+        tenant_b = Analyzer(
+            variant_programs, schema=workload.schema, block_store=store
+        )
+        report_shared = tenant_b.analyze(ATTR_DEP_FK)
+
+        info = tenant_b.store_info()
+        assert info["attached"] is True
+        assert info["shared_hits"] == (total - replaced) ** 2
+        # The blocks involving the variant were computed and published.
+        assert info["published"] == total**2 - (total - replaced) ** 2
+
+        storeless = Analyzer(variant_programs, schema=workload.schema)
+        assert report_shared.to_dict() == storeless.analyze(ATTR_DEP_FK).to_dict()
+
+    @hyp_settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        name=st.sampled_from(sorted(WORKLOADS)),
+        settings=st.sampled_from(ALL_SETTINGS),
+        drop=st.integers(min_value=0, max_value=20),
+    )
+    def test_sharing_is_exact_across_workloads_and_settings(
+        self, name, settings, drop
+    ):
+        """Tenant B = tenant A minus one program: B adopts *all* its blocks,
+        exactly ``(n - r)**2`` of them, and its report is bit-identical to
+        a store-disabled analysis of the same workload."""
+        store = BlockStore()
+        tenant_a = Analyzer(name, block_store=store)
+        tenant_a.analyze(settings)
+        workload = tenant_a.workload
+        dropped = workload.program_names[drop % len(workload.programs)]
+        remaining = [n for n in workload.program_names if n != dropped]
+        remaining_ltps = len(tenant_a.unfolded(remaining))
+
+        tenant_b = Analyzer(workload.subset(remaining), block_store=store)
+        report_shared = tenant_b.analyze(settings)
+
+        info = tenant_b.store_info()
+        assert info["shared_hits"] == remaining_ltps**2
+        assert info["published"] == 0
+        # Adopted blocks still count as computed: the cache_info contract
+        # (and with it every churn/replay trace) is store-invariant.
+        assert (
+            tenant_b.cache_info()["block_computations"] == remaining_ltps**2
+        )
+
+        storeless = Analyzer(workload.subset(remaining))
+        assert report_shared.to_dict() == storeless.analyze(settings).to_dict()
+
+    def test_disjoint_schemas_share_nothing(self):
+        store = BlockStore()
+        first = Analyzer("smallbank", block_store=store)
+        first.analyze(ATTR_DEP_FK)
+        second = Analyzer("auction", block_store=store)
+        second.analyze(ATTR_DEP_FK)
+        assert second.store_info()["shared_hits"] == 0
+
+    def test_store_info_without_store_reports_detached(self):
+        session = Analyzer("smallbank")
+        session.analyze(ATTR_DEP_FK)
+        info = session.store_info()
+        assert info == {
+            "attached": False,
+            "shared_hits": 0,
+            "published": 0,
+            "refs": 0,
+        }
+
+
+class TestRefcountHygiene:
+    def test_500_replace_cycles_leak_nothing_and_stay_bounded(self):
+        """Flip-flop one program 500 times against a tiny budget: evictions
+        happen, bytes stay bounded by pinned + budget, refs never grow, and
+        dropping the session unpins everything."""
+        budget = 4 * ENTRY_OVERHEAD_BYTES
+        store = BlockStore(budget_bytes=budget)
+        session = Analyzer("smallbank", block_store=store)
+        session.analyze(ATTR_DEP_FK)
+        total = len(session.unfolded())
+        expected_refs = total**2
+        assert session.store_info()["refs"] == expected_refs
+
+        workload = session.workload
+        original = workload.program("Balance")
+        variant = _variant_balance(workload)
+        max_bytes = 0
+        for iteration in range(500):
+            session.replace_program(variant if iteration % 2 == 0 else original)
+            session.analyze(ATTR_DEP_FK)
+            # One ref per cached pair, no matter how many edits happened.
+            assert session.store_info()["refs"] == expected_refs
+            max_bytes = max(max_bytes, store.info()["bytes"])
+
+        info = store.info()
+        # The session pins exactly its current blocks; everything beyond
+        # pinned + budget must have been evicted along the way.
+        assert info["pinned_blocks"] == expected_refs
+        pinned_bytes_bound = expected_refs * (
+            ENTRY_OVERHEAD_BYTES + 72 * 64
+        )  # generous per-block coord bound
+        assert max_bytes <= pinned_bytes_bound + budget + (
+            ENTRY_OVERHEAD_BYTES + 72 * 64
+        )
+        assert info["evictions"] > 0
+        assert info["unique_blocks"] == info["pinned_blocks"]
+
+        del session
+        gc.collect()
+        info = store.info()
+        assert info["pinned_blocks"] == 0
+        # With every pin gone the budget applies to the whole store.
+        assert info["bytes"] <= budget
+
+    def test_clear_resets_session_store_accounting(self):
+        store = BlockStore()
+        session = Analyzer("smallbank", block_store=store)
+        session.analyze(ATTR_DEP_FK)
+        assert session.store_info()["refs"] > 0
+        session.clear_cache()
+        gc.collect()  # the dropped EdgeBlockStores' finalizers release refs
+        assert session.store_info()["refs"] == 0
+        assert store.info()["pinned_blocks"] == 0
+
+    def test_fork_retains_parent_blocks(self):
+        store = BlockStore()
+        parent = Analyzer("smallbank", block_store=store)
+        parent.analyze(ATTR_DEP_FK)
+        refs = parent.store_info()["refs"]
+        fork = parent.fork()
+        assert fork.store_info()["refs"] == refs
+        # Both sessions pin the same entries; dropping one keeps them.
+        del parent
+        gc.collect()
+        assert store.info()["pinned_blocks"] == refs
+        del fork
+        gc.collect()
+        assert store.info()["pinned_blocks"] == 0
+
+    def test_remove_program_releases_its_refs(self):
+        store = BlockStore()
+        session = Analyzer("smallbank", block_store=store)
+        session.analyze(ATTR_DEP_FK)
+        total = len(session.unfolded())
+        removed_ltps = len(session.unfolded(["Balance"]))
+        session.remove_program("Balance")
+        assert session.store_info()["refs"] == (total - removed_ltps) ** 2
+
+
+def test_builtin_workloads_registry_matches_get_workload():
+    for name in WORKLOADS:
+        assert get_workload(name).name == Analyzer(name).workload.name
