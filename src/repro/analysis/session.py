@@ -49,6 +49,7 @@ from repro.detection.typei import find_type1_violation
 from repro.detection.typeii import find_type2_violation
 from repro.errors import ProgramError
 from repro.faults.deadline import check_deadline
+from repro.obs.spans import span
 from repro.schema import Schema
 from repro.store.blockstore import BlockStore
 from repro.summary.fingerprint import schema_fingerprint, workload_fingerprint
@@ -170,7 +171,8 @@ class Analyzer:
         backend: str = "thread",
         block_store: BlockStore | None = None,
     ):
-        self.workload = Workload.resolve(source, schema=schema, name=name)
+        with span("resolve"):
+            self.workload = Workload.resolve(source, schema=schema, name=name)
         self.max_loop_iterations = max_loop_iterations
         self.jobs = jobs
         self.backend = backend
@@ -234,9 +236,10 @@ class Analyzer:
             ltps: list[LTP] = []
             for name in self._subset_names(subset):
                 if name not in self._ltps_by_program:
-                    self._ltps_by_program[name] = unfold_program(
-                        self.workload.program(name), self.max_loop_iterations
-                    )
+                    with span("unfold"):
+                        self._ltps_by_program[name] = unfold_program(
+                            self.workload.program(name), self.max_loop_iterations
+                        )
                 ltps.extend(self._ltps_by_program[name])
             return tuple(ltps)
 
@@ -293,7 +296,8 @@ class Analyzer:
             store = self.edge_block_store(settings)
             ltps = self.unfolded(names)
             store.register(ltps)
-            graph = store.graph([ltp.name for ltp in ltps], jobs=self.jobs)
+            with span("assemble"):
+                graph = store.graph([ltp.name for ltp in ltps], jobs=self.jobs)
             self._graphs[key] = graph
             return graph
 
@@ -312,8 +316,9 @@ class Analyzer:
                 return cached
             graph = self.summary_graph(settings, names)
             check_deadline("analysis")
-            witness = find_type2_violation(graph)
-            type1_witness = find_type1_violation(graph)
+            with span("detect"):
+                witness = find_type2_violation(graph)
+                type1_witness = find_type1_violation(graph)
             report = RobustnessReport(
                 settings=settings,
                 graph=graph,

@@ -27,7 +27,6 @@ strips only wall-clock fields.
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -35,6 +34,7 @@ from repro.analysis.session import Analyzer
 from repro.detection.api import RobustnessReport
 from repro.errors import ProgramError
 from repro.faults import check_deadline
+from repro.obs.clock import monotonic
 from repro.summary.settings import ATTR_DEP_FK, AnalysisSettings
 from repro.workloads.base import Workload, WorkloadSource
 
@@ -367,7 +367,7 @@ class Monitor:
             raise ProgramError(f"watch steps must be >= 1, got {steps}")
         if oracle_every < 0:
             raise ProgramError(f"oracle_every must be >= 0, got {oracle_every}")
-        started = time.perf_counter()
+        started = monotonic()
         # Warm-up: make sure every block of the *initial* programs exists
         # before step 0, so per-step blocks_recomputed counts only edit
         # fallout — identical whether the session arrived cold or as a
@@ -380,7 +380,7 @@ class Monitor:
             check_deadline("watch step")
             want_oracle = bool(oracle_every) and (step + 1) % oracle_every == 0
             records.append(self._step(step, want_oracle=want_oracle))
-        return self._trace(records, time.perf_counter() - started)
+        return self._trace(records, monotonic() - started)
 
     def replay(self, trace: ChurnTrace) -> ChurnTrace:
         """Re-apply a recorded trace's mutations (not the engine) against
@@ -392,7 +392,7 @@ class Monitor:
                 f"{list(trace.base_programs)!r}, session holds "
                 f"{list(self.base.program_names)!r}"
             )
-        started = time.perf_counter()
+        started = monotonic()
         self.session.analyze(self.settings)
         records = []
         for recorded in trace.steps:
@@ -404,7 +404,7 @@ class Monitor:
                 )
             )
         return self._trace(
-            records, time.perf_counter() - started, seed=trace.seed
+            records, monotonic() - started, seed=trace.seed
         )
 
     def _trace(self, records, elapsed: float, seed: int | None = None) -> ChurnTrace:
@@ -430,11 +430,11 @@ class Monitor:
             mutations = self.engine.propose(self.session.workload, step)
         before = self.session.cache_info()["block_computations"]
         faults_before = self.session.fault_info()["recoveries"]
-        started = time.perf_counter()
+        started = monotonic()
         for mutation in mutations:
             self.apply(mutation)
         report = self.session.analyze(self.settings)
-        elapsed = time.perf_counter() - started
+        elapsed = monotonic() - started
         recomputed = self.session.cache_info()["block_computations"] - before
         recovered = self.session.fault_info()["recoveries"] - faults_before
         oracle = self.check(report) if want_oracle else None
@@ -473,12 +473,12 @@ class Monitor:
         """
         if report is None:
             report = self.session.analyze(self.settings)
-        started = time.perf_counter()
+        started = monotonic()
         cold = Analyzer(
             self.session.workload,
             max_loop_iterations=self.session.max_loop_iterations,
         ).analyze(self.settings)
-        elapsed = time.perf_counter() - started
+        elapsed = monotonic() - started
         return OracleCheck(
             robust=cold.robust,
             type1_robust=cold.type1_robust,

@@ -68,6 +68,7 @@ from repro.analysis.session import Analyzer
 from repro.errors import ReproError
 from repro.faults import FaultPlan, install_plan
 from repro.experiments.false_negatives import run_false_negatives
+from repro.obs import log as obs_log
 from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import run_figure7
 from repro.experiments.figure8 import run_figure8
@@ -144,10 +145,22 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         setting=args.setting,
         subset=tuple(subset) if subset is not None else None,
         all_settings=args.all_settings,
+        profile=args.profile,
     )
     if args.json:
         # The same dispatch the HTTP frontend uses — byte-identical payloads.
         print(json.dumps(request.payload(service), indent=2))
+        return 0
+    if args.profile:
+        payload = request.payload(service)
+        result = service.analyze(request)  # warm: reuses the cached report
+        if args.all_settings:
+            print(result.describe())
+        else:
+            print(f"workload: {result.workload}")
+            print(result.describe())
+        print("profile:")
+        _print_spans(payload.get("profile", []), indent=1)
         return 0
     result = service.analyze(request)
     if args.all_settings:
@@ -156,6 +169,15 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"workload: {result.workload}")
         print(result.describe())
     return 0
+
+
+def _print_spans(nodes: list, indent: int) -> None:
+    """Render a span tree as indented `stage  duration` lines."""
+    for node in nodes:
+        print(
+            f"{'  ' * indent}{node['stage']:<18} {node['duration_ms']:>9.3f} ms"
+        )
+        _print_spans(node.get("children", []), indent + 1)
 
 
 def _cmd_subsets(args: argparse.Namespace) -> int:
@@ -280,6 +302,9 @@ _SERVE_ROUTES = (
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    # Before the fork: --workers children inherit the configured logger,
+    # so every worker emits JSON records at the same level.
+    obs_log.configure(args.log_level)
     if args.workers < 1:
         raise ReproError(f"--workers must be >= 1, got {args.workers}")
     if args.block_budget < 0:
@@ -407,6 +432,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--all-settings",
         action="store_true",
         help="analyze under all four Section 7.2 settings",
+    )
+    analyze.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect per-stage spans (resolve/unfold/pack/sweep/assemble/"
+        "detect) and echo the span tree with the report",
     )
     _add_setting_argument(analyze)
     _add_json_argument(analyze)
@@ -566,6 +597,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MIB",
         help="byte budget of the content-addressed cross-session block "
         "store, in MiB (0 disables cross-session block sharing)",
+    )
+    serve.add_argument(
+        "--log-level",
+        choices=["debug", "info", "warning", "error"],
+        metavar="LEVEL",
+        help="structured JSON log level (debug|info|warning|error; "
+        "default from REPRO_LOG, else info) — one JSON object per line "
+        "on stderr, including per-request access logs",
     )
     _add_jobs_argument(serve)
     serve.set_defaults(func=_cmd_serve)

@@ -1,0 +1,20 @@
+"""The one monotonic clock behind every wall-clock measurement.
+
+Timing call sites across the repo used to mix ``time.time()`` (affected
+by NTP steps) with ``time.perf_counter()`` (monotonic, per-process).
+Everything that measures a *duration* now goes through :func:`monotonic`
+so the choice of clock is made exactly once; absolute timestamps for
+humans stay on ``time.time()`` at the call site that formats them.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic"]
+
+#: Seconds on the process-local monotonic clock — the highest-resolution
+#: monotonic clock Python offers; only ever meaningful as a difference
+#: between two calls in the same process.  Bound directly (not wrapped)
+#: so span edges on hot paths pay one C call, not two.
+monotonic = time.perf_counter

@@ -1,0 +1,119 @@
+"""Structured JSON logging for the service stack.
+
+Every record is one JSON object on one line: an ``event`` name plus
+whatever fields the call site supplies, with the current trace id and
+the worker index attached automatically when present.  Records flow
+through the stdlib ``logging`` machinery (logger ``"repro.obs"``), so
+tests capture them with ``caplog`` and operators redirect them like any
+other logger; :func:`configure` — driven by ``--log-level`` on
+``repro serve`` or the ``REPRO_LOG`` environment variable — attaches
+the stderr handler for standalone use.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from typing import Any
+
+from repro.obs.trace import current_trace_id
+
+__all__ = [
+    "LOGGER_NAME",
+    "logger",
+    "configure",
+    "emit",
+    "debug",
+    "info",
+    "warning",
+    "error",
+    "worker_index",
+]
+
+LOGGER_NAME = "repro.obs"
+
+logger = logging.getLogger(LOGGER_NAME)
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_handler: logging.Handler | None = None
+
+
+def worker_index() -> int | None:
+    """This process's pre-fork worker index, if it is one."""
+    raw = os.environ.get("REPRO_WORKER_INDEX")
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+def resolve_level(level: str | int | None) -> int:
+    """Map a ``--log-level``/``REPRO_LOG`` value to a logging level."""
+    if level is None:
+        level = os.environ.get("REPRO_LOG", "info")
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[level.strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from "
+            f"{', '.join(sorted(_LEVELS))}"
+        ) from None
+
+
+def configure(level: str | int | None = None) -> None:
+    """Set the level and attach the stderr line handler (idempotent)."""
+    global _handler
+    logger.setLevel(resolve_level(level))
+    if _handler is None:
+        _handler = logging.StreamHandler()
+        _handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(_handler)
+
+
+def emit(level: int, event: str, **fields: Any) -> None:
+    """One structured record; a no-op below the effective level."""
+    if not logger.isEnabledFor(level):
+        return
+    payload: dict[str, Any] = {"event": event}
+    payload.update(fields)
+    trace_id = current_trace_id()
+    if trace_id is not None:
+        payload.setdefault("trace_id", trace_id)
+    worker = worker_index()
+    if worker is not None:
+        payload.setdefault("worker", worker)
+    try:
+        line = json.dumps(payload, sort_keys=True, default=str)
+    except (TypeError, ValueError):
+        line = json.dumps(
+            {"event": event, "error": "unserializable log payload"},
+            sort_keys=True,
+        )
+    logger.log(level, line)
+
+
+def debug(event: str, **fields: Any) -> None:
+    emit(logging.DEBUG, event, **fields)
+
+
+def info(event: str, **fields: Any) -> None:
+    emit(logging.INFO, event, **fields)
+
+
+def warning(event: str, **fields: Any) -> None:
+    emit(logging.WARNING, event, **fields)
+
+
+def error(event: str, **fields: Any) -> None:
+    emit(logging.ERROR, event, **fields)

@@ -1,0 +1,137 @@
+"""Per-stage span profiling: histograms always, span trees on request.
+
+A *span* wraps one pipeline stage — resolve, unfold, pack, sweep,
+assemble, detect, repair-candidate — and does two things when it closes:
+observes its duration into the ``repro_stage_seconds`` histogram (when
+the metrics layer is enabled) and, when a profile collector is active
+for the current request (``"profile": true`` / ``repro analyze
+--profile``), records a node in that request's span tree.
+
+Cost discipline matches the fault injector: with metrics disabled and no
+collector installed, :func:`span` is one contextvar read plus one global
+check and returns a shared no-op context manager — nothing allocates.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+from repro.obs import metrics
+from repro.obs.clock import monotonic
+
+__all__ = [
+    "span",
+    "profile_scope",
+    "SpanCollector",
+    "STAGE_SECONDS",
+]
+
+#: Stage latency histogram every span feeds; labeled by stage name.
+STAGE_SECONDS = metrics.REGISTRY.histogram(
+    "repro_stage_seconds",
+    "Wall-clock seconds spent per analysis pipeline stage.",
+    labelnames=("stage",),
+)
+
+#: Label-resolved histogram handles, one per stage seen so far: spans
+#: close on the hot path, so the label lookup is paid once per stage,
+#: not once per span.  (A racing first close creates two handles over
+#: the *same* series — BoundHistogram resolves under the metric lock.)
+_BOUND: dict[str, metrics.BoundHistogram] = {}
+
+
+def _observe_stage(stage: str, elapsed: float) -> None:
+    bound = _BOUND.get(stage)
+    if bound is None:
+        bound = _BOUND[stage] = STAGE_SECONDS.bound(stage)
+    bound.observe(elapsed)
+
+
+class SpanCollector:
+    """Builds one request's span tree as spans open and close."""
+
+    def __init__(self) -> None:
+        self.roots: list[dict[str, Any]] = []
+        self._stack: list[dict[str, Any]] = []
+
+    def open(self, stage: str) -> dict[str, Any]:
+        node: dict[str, Any] = {"stage": stage, "duration_ms": 0.0}
+        if self._stack:
+            self._stack[-1].setdefault("children", []).append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        return node
+
+    def close(self, node: dict[str, Any], elapsed: float) -> None:
+        node["duration_ms"] = round(elapsed * 1000.0, 3)
+        # Tolerate mismatched closes (a stage that raised mid-tree):
+        # unwind to the node rather than asserting.
+        while self._stack:
+            if self._stack.pop() is node:
+                break
+
+    def tree(self) -> list[dict[str, Any]]:
+        return self.roots
+
+
+_COLLECTOR: ContextVar[SpanCollector | None] = ContextVar(
+    "repro_profile", default=None
+)
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class _Span:
+    __slots__ = ("stage", "collector", "node", "started")
+
+    def __init__(self, stage: str, collector: SpanCollector | None):
+        self.stage = stage
+        self.collector = collector
+        self.node: dict[str, Any] | None = None
+        self.started = 0.0
+
+    def __enter__(self) -> "_Span":
+        if self.collector is not None:
+            self.node = self.collector.open(self.stage)
+        self.started = monotonic()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = monotonic() - self.started
+        if metrics.enabled():
+            _observe_stage(self.stage, elapsed)
+        if self.collector is not None and self.node is not None:
+            self.collector.close(self.node, elapsed)
+
+
+def span(stage: str) -> "_Span | _NoopSpan":
+    """A context manager timing one named stage (cheap when idle)."""
+    collector = _COLLECTOR.get()
+    if collector is None and not metrics.enabled():
+        return _NOOP
+    return _Span(stage, collector)
+
+
+@contextlib.contextmanager
+def profile_scope() -> Iterator[SpanCollector]:
+    """Collect a span tree for the body (the ``profile: true`` path)."""
+    collector = SpanCollector()
+    token = _COLLECTOR.set(collector)
+    try:
+        yield collector
+    finally:
+        _COLLECTOR.reset(token)

@@ -35,6 +35,7 @@ from repro.detection.typei import find_type1_violation
 from repro.detection.typeii import find_type2_violation
 from repro.detection.witness import CycleWitness
 from repro.errors import ProgramError
+from repro.obs.spans import span
 from repro.repair.candidates import candidate_edits
 from repro.repair.edits import (
     Repair,
@@ -262,6 +263,12 @@ class RepairAdvisor:
         per-program, and detection runs block-indexed (no graph
         assembly).
         """
+        with span("repair-candidate"):
+            return self._verify_spanned(edits)
+
+    def _verify_spanned(
+        self, edits: Iterable[Repair]
+    ) -> tuple[CycleWitness | None, int, int, Workload]:
         scratch = self._base.fork()
         grouped: dict[str, list[Repair]] = {}
         for edit in edits:

@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 import warnings
+import weakref
 from collections import OrderedDict
 from contextvars import ContextVar
 from pathlib import Path
@@ -33,6 +33,9 @@ from typing import TYPE_CHECKING, Any, Mapping
 import os
 
 from repro.analysis.session import CACHE_FORMAT, Analyzer
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs.clock import monotonic
 from repro.errors import DeadlineExceeded, ProgramError, ReproError
 from repro.store.blockstore import DEFAULT_BUDGET_BYTES, BlockStore
 from repro.faults import inject as _faults
@@ -71,6 +74,97 @@ DEFAULT_POISON_THRESHOLD = 3
 #: (instant self-deadlock at ``max_inflight=1``) or shadow the outer
 #: request's deadline with a fresh one.
 _IN_REQUEST: ContextVar[bool] = ContextVar("repro_service_in_request", default=False)
+
+
+#: Dispatch-level request counter, labeled by request kind (inline; the
+#: rest of the service counters are *pulled* at scrape time by the
+#: collector each service registers, so ``/v1/stats`` attributes stay
+#: the single source of truth).
+REQUESTS_TOTAL = obs_metrics.REGISTRY.counter(
+    "repro_service_requests_total",
+    "Requests dispatched through AnalysisService.handle, by kind.",
+    labelnames=("kind",),
+)
+SHED_TOTAL = obs_metrics.REGISTRY.counter(
+    "repro_service_shed_total",
+    "Requests shed at the bounded in-flight gate (HTTP 503).",
+)
+DEADLINE_TOTAL = obs_metrics.REGISTRY.counter(
+    "repro_service_deadline_exceeded_total",
+    "Requests that expired their cooperative deadline (HTTP 504).",
+)
+POOL_EVENTS = obs_metrics.REGISTRY.counter(
+    "repro_service_pool_events_total",
+    "Session pool events: hits, misses, spills, rehydrations and their "
+    "failure modes.",
+    labelnames=("event",),
+)
+FAULT_EVENTS = obs_metrics.REGISTRY.counter(
+    "repro_service_fault_events_total",
+    "Fault-path outcomes: process-pool recoveries, degraded sessions, "
+    "poisoned-session evictions, spill failures.",
+    labelnames=("event",),
+)
+SESSIONS_WARM = obs_metrics.REGISTRY.gauge(
+    "repro_service_sessions_warm",
+    "Analyzer sessions currently warm in the LRU pool.",
+)
+STORE_COUNTERS = obs_metrics.REGISTRY.counter(
+    "repro_store_events_total",
+    "Cross-session BlockStore events: shared hits, misses, publishes, "
+    "evictions.",
+    labelnames=("event",),
+)
+STORE_BYTES = obs_metrics.REGISTRY.gauge(
+    "repro_store_bytes",
+    "Bytes resident in the cross-session BlockStore.",
+)
+STORE_BLOCKS = obs_metrics.REGISTRY.gauge(
+    "repro_store_blocks",
+    "Unique blocks resident in the cross-session BlockStore.",
+)
+
+
+def _register_service_collector(service: "AnalysisService") -> None:
+    """Feed the registry from a service's counters at every scrape.
+
+    Holds the service weakly: when it is garbage collected the collector
+    raises ``ReferenceError`` on its next run and the registry drops it.
+    """
+    ref = weakref.proxy(service)
+
+    def _collect() -> None:
+        with ref._lock:
+            SHED_TOTAL.set(ref._shed)
+            DEADLINE_TOTAL.set(ref._deadline_exceeded)
+            POOL_EVENTS.set(ref._pool_hits, "hit")
+            POOL_EVENTS.set(ref._pool_misses, "miss")
+            POOL_EVENTS.set(ref._spills, "spill")
+            POOL_EVENTS.set(ref._rehydrations, "rehydration")
+            POOL_EVENTS.set(ref._rehydrate_failures, "rehydrate_failure")
+            FAULT_EVENTS.set(ref._spill_failures, "spill_failure")
+            FAULT_EVENTS.set(ref._poisoned_evictions, "poisoned_eviction")
+            SESSIONS_WARM.set(len(ref._pool))
+            pool = list(ref._pool.values())
+            store = ref.block_store
+        recoveries = 0
+        degraded = 0
+        for session in pool:
+            info = session.fault_info()
+            recoveries += info["recoveries"]
+            degraded += 1 if info["degraded"] else 0
+        FAULT_EVENTS.set(recoveries, "pool_recovery")
+        FAULT_EVENTS.set(degraded, "degraded_session")
+        if store is not None:
+            info = store.info()
+            STORE_COUNTERS.set(info["shared_hits"], "shared_hit")
+            STORE_COUNTERS.set(info["misses"], "miss")
+            STORE_COUNTERS.set(info["publishes"], "publish")
+            STORE_COUNTERS.set(info["evictions"], "eviction")
+            STORE_BYTES.set(info["bytes"])
+            STORE_BLOCKS.set(info["unique_blocks"])
+
+    obs_metrics.REGISTRY.register_collector(_collect)
 
 
 class AnalysisService:
@@ -169,7 +263,7 @@ class AnalysisService:
         #: File paths and raw text are never memoized (files change on disk).
         self._fingerprint_memo: dict[str, str] = {}
         self._lock = threading.Lock()
-        self._started_at = time.time()
+        self._started_at = monotonic()
         self._requests = 0
         self._pool_hits = 0
         self._pool_misses = 0
@@ -188,6 +282,12 @@ class AnalysisService:
         #: poisoned-session circuit breaker's state; reset on success).
         self._poison_counts: dict[str, int] = {}
         self._quarantine_warned = False
+        # Building a service turns the metrics layer on for the process
+        # (library-only Analyzer use stays zero-cost without one) and
+        # registers the scrape-time collector that mirrors this
+        # service's counters into the registry.
+        obs_metrics.enable()
+        _register_service_collector(self)
 
     # -- session pool --------------------------------------------------------
     def fresh_session(
@@ -313,6 +413,12 @@ class AnalysisService:
             self._rehydrate_failures += 1
             warn_first = not self._quarantine_warned
             self._quarantine_warned = True
+        obs_log.warning(
+            "cache.quarantined",
+            artifact=path.name,
+            renamed_to=target.name,
+            error=f"{type(error).__name__}: {error}",
+        )
         if warn_first:
             warnings.warn(
                 f"quarantined corrupt session cache artifact {path.name} -> "
@@ -519,6 +625,8 @@ class AnalysisService:
         request = parse_request(kind, data)
         with self._lock:
             self._requests += 1
+        if obs_metrics.enabled():
+            REQUESTS_TOTAL.inc(1.0, kind)
         nested = _IN_REQUEST.get()
         if (
             not nested
@@ -527,6 +635,9 @@ class AnalysisService:
         ):
             with self._lock:
                 self._shed += 1
+            obs_log.warning(
+                "request.shed", kind=kind, max_inflight=self.max_inflight
+            )
             raise ServiceError(
                 f"service is at capacity ({self.max_inflight} request(s) "
                 "in flight); retry shortly",
@@ -544,6 +655,9 @@ class AnalysisService:
         except DeadlineExceeded as error:
             with self._lock:
                 self._deadline_exceeded += 1
+            obs_log.warning(
+                "request.deadline_exceeded", kind=kind, detail=str(error)
+            )
             raise ServiceError(
                 str(error), kind="deadline_exceeded", status=504
             ) from error
@@ -626,7 +740,7 @@ class AnalysisService:
         )
         injector = _faults.current_injector()
         faults["injected"] = None if injector is None else injector.snapshot()
-        return {
+        payload: dict[str, Any] = {
             "version": __version__,
             "capacity": self.capacity,
             "jobs": self.jobs,
@@ -656,6 +770,13 @@ class AnalysisService:
                 for fingerprint, session in pool
             ],
         }
+        worker = obs_log.worker_index()
+        if worker is not None:
+            # Only under the pre-fork frontend (REPRO_WORKER_INDEX set):
+            # stats are per-worker there, so say which worker answered.
+            # Single-process payloads stay byte-identical.
+            payload["worker"] = worker
+        return payload
 
     def healthz(self) -> dict[str, Any]:
         """Cheap readiness probe (the ``/v1/healthz`` body).
@@ -672,7 +793,7 @@ class AnalysisService:
         return {
             "status": "ok",
             "version": __version__,
-            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "uptime_seconds": round(monotonic() - self._started_at, 3),
             "capacity": self.capacity,
             "sessions_warm": sessions_warm,
             "watch_runs": watch_runs,

@@ -20,7 +20,6 @@ the response body of the service's ``/v1/grid`` endpoint.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
@@ -28,6 +27,7 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.detection.subsets import SubsetsReport, _resolve_method, maximal_subsets
 from repro.errors import ProgramError
 from repro.faults import check_deadline
+from repro.obs.clock import monotonic
 from repro.summary.settings import ALL_SETTINGS, AnalysisSettings
 from repro.workloads.base import WorkloadSource
 
@@ -217,9 +217,9 @@ def _run_cell(
         cell_session = (
             session if session is not None else service.fresh_session(source)
         )
-        started = time.perf_counter()
+        started = monotonic()
         value = _run_task(cell_session, spec, settings)
-        seconds.append(time.perf_counter() - started)
+        seconds.append(monotonic() - started)
         name = cell_session.workload.name
     return GridCell(
         workload=name,

@@ -11,7 +11,17 @@ just ``http.server``.  Routes:
   dispatch, same serialization, same trailing newline);
 * ``GET /v1/stats`` — pool and per-session ``cache_info()`` counters;
 * ``GET /v1/healthz`` — cheap readiness probe (uptime, pool capacity,
-  sessions warm) that touches no session.
+  sessions warm) that touches no session;
+* ``GET /v1/metrics`` — Prometheus text exposition of the
+  :mod:`repro.obs` registry (per-worker under ``--workers N``; every
+  line carries a ``worker`` label).
+
+Every request runs under a :func:`repro.obs.trace_scope`: an inbound
+``X-Repro-Trace-Id`` header is honored (else an id is minted), echoed on
+the response, and attached to every log record the request causes — all
+the way down into process-backend sweeps.  Completion emits one
+structured access-log line (method, route, status, duration, shed and
+deadline flags) through ``repro.obs.log``.
 
 Malformed bodies, unknown routes and analysis failures answer with the
 :class:`~repro.service.requests.ServiceError` envelope (HTTP 400/404) —
@@ -33,11 +43,31 @@ import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs.clock import monotonic
+from repro.obs.trace import current_trace_id, trace_scope
 from repro.service.core import AnalysisService
 from repro.service.requests import REQUEST_KINDS, ServiceError
 
 #: URL prefix of every route.
 API_PREFIX = "/v1/"
+
+#: The trace-id header honored inbound and echoed on every response.
+TRACE_HEADER = "X-Repro-Trace-Id"
+
+#: HTTP-layer metrics (route label is the request kind, never a raw
+#: path, to keep series cardinality bounded).
+REQUEST_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "Wall-clock seconds from accept to response flush, per route.",
+    labelnames=("method", "route"),
+)
+RESPONSES_TOTAL = obs_metrics.REGISTRY.counter(
+    "repro_http_responses_total",
+    "HTTP responses sent, by method, route and status code.",
+    labelnames=("method", "route", "status"),
+)
 
 #: How long a shutting-down server waits for in-flight requests to finish
 #: before closing anyway (they still run on daemon threads, but their
@@ -108,20 +138,50 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 class _ServiceRequestHandler(BaseHTTPRequestHandler):
     server: ServiceHTTPServer  # narrowed for type checkers
 
+    #: Per-request access-log state, initialized by do_POST/do_GET.
+    _status = 0
+    _route = "unknown"
+    _started = 0.0
+    _observed = True
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        self._status = status
+        # Record metrics and the access-log line *before* the body hits
+        # the wire: the moment the client has the response, a follow-up
+        # scrape or log assertion must already see this request (the
+        # do_POST/do_GET finally covers responses that never flushed).
+        self._finish_request()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            self.send_header(TRACE_HEADER, trace_id)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
     def _respond(
         self,
         status: int,
         payload: dict[str, Any],
         headers: dict[str, str] | None = None,
     ) -> None:
-        body = _json_bytes(payload)
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        self._send_body(status, _json_bytes(payload), "application/json", headers)
+
+    def _respond_text(self, status: int, text: str) -> None:
+        self._send_body(
+            status,
+            text.encode("utf-8"),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
 
     def _respond_error(self, error: ServiceError) -> None:
         headers = None
@@ -142,60 +202,116 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ServiceError(f"request body is not valid JSON: {exc}") from None
 
+    def _inbound_trace_id(self) -> str | None:
+        header = self.headers.get(TRACE_HEADER)
+        if header is None:
+            return None
+        header = header.strip()
+        return header or None
+
+    def _begin_request(self) -> None:
+        self._started = monotonic()
+        self._route = "unknown"
+        self._status = 0
+        self._observed = False
+
+    def _finish_request(self) -> None:
+        if self._observed:
+            return
+        self._observed = True
+        method = self.command or "?"
+        route = self._route
+        duration = monotonic() - self._started
+        status = self._status
+        if obs_metrics.enabled():
+            REQUEST_SECONDS.observe(duration, method, route)
+            RESPONSES_TOTAL.inc(1.0, method, route, str(status))
+        obs_log.info(
+            "http.request",
+            method=method,
+            route=route,
+            path=self.path,
+            status=status,
+            duration_ms=round(duration * 1000.0, 3),
+            shed=status == 503,
+            deadline=status == 504,
+        )
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self.server.request_started()
-        try:
+        self._begin_request()
+        with trace_scope(self._inbound_trace_id()):
             try:
-                if not self.path.startswith(API_PREFIX):
-                    raise ServiceError(
-                        f"unknown path {self.path!r}", kind="not_found", status=404
-                    )
-                kind = self.path[len(API_PREFIX):]
-                if kind not in REQUEST_KINDS:
-                    raise ServiceError(
-                        f"unknown path {self.path!r}; POST one of "
-                        f"{sorted(API_PREFIX + kind for kind in REQUEST_KINDS)}",
-                        kind="not_found",
-                        status=404,
-                    )
-                payload = self.server.service.handle(kind, self._request_body())
-            except ServiceError as error:
-                self._respond_error(error)
-            except Exception as error:
-                # A crash the service's own taxonomy did not absorb (a bug,
-                # or an injected handler.crash fault): answer the typed
-                # envelope, never a raw traceback or a dropped connection.
-                self._respond_error(ServiceError.internal(error))
-            else:
-                self._respond(200, payload)
-        finally:
-            self.server.request_finished()
+                try:
+                    if not self.path.startswith(API_PREFIX):
+                        raise ServiceError(
+                            f"unknown path {self.path!r}", kind="not_found", status=404
+                        )
+                    kind = self.path[len(API_PREFIX):]
+                    if kind not in REQUEST_KINDS:
+                        raise ServiceError(
+                            f"unknown path {self.path!r}; POST one of "
+                            f"{sorted(API_PREFIX + kind for kind in REQUEST_KINDS)}",
+                            kind="not_found",
+                            status=404,
+                        )
+                    self._route = kind
+                    payload = self.server.service.handle(kind, self._request_body())
+                except ServiceError as error:
+                    self._respond_error(error)
+                except Exception as error:
+                    # A crash the service's own taxonomy did not absorb (a bug,
+                    # or an injected handler.crash fault): answer the typed
+                    # envelope, never a raw traceback or a dropped connection.
+                    self._respond_error(ServiceError.internal(error))
+                else:
+                    self._respond(200, payload)
+            finally:
+                self._finish_request()
+                self.server.request_finished()
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self.server.request_started()
-        try:
+        self._begin_request()
+        with trace_scope(self._inbound_trace_id()):
             try:
-                if self.path == API_PREFIX + "stats":
-                    self._respond(200, self.server.service.stats())
-                elif self.path == API_PREFIX + "healthz":
-                    self._respond(200, self.server.service.healthz())
-                else:
-                    raise ServiceError(
-                        f"unknown path {self.path!r}; GET {API_PREFIX}stats "
-                        f"or {API_PREFIX}healthz",
-                        kind="not_found",
-                        status=404,
-                    )
-            except ServiceError as error:
-                self._respond_error(error)
-            except Exception as error:
-                self._respond_error(ServiceError.internal(error))
-        finally:
-            self.server.request_finished()
+                try:
+                    if self.path == API_PREFIX + "stats":
+                        self._route = "stats"
+                        self._respond(200, self.server.service.stats())
+                    elif self.path == API_PREFIX + "healthz":
+                        self._route = "healthz"
+                        self._respond(200, self.server.service.healthz())
+                    elif self.path == API_PREFIX + "metrics":
+                        self._route = "metrics"
+                        self._respond_text(
+                            200,
+                            obs_metrics.render(
+                                {"worker": str(obs_log.worker_index() or 0)}
+                            ),
+                        )
+                    else:
+                        raise ServiceError(
+                            f"unknown path {self.path!r}; GET {API_PREFIX}stats, "
+                            f"{API_PREFIX}healthz or {API_PREFIX}metrics",
+                            kind="not_found",
+                            status=404,
+                        )
+                except ServiceError as error:
+                    self._respond_error(error)
+                except Exception as error:
+                    self._respond_error(ServiceError.internal(error))
+            finally:
+                self._finish_request()
+                self.server.request_finished()
 
     def log_message(self, format: str, *args: Any) -> None:
-        if not self.server.quiet:
-            super().log_message(format, *args)
+        # http.server's own notices (one per send_response, plus
+        # malformed-request warnings) used to be dropped when quiet;
+        # they now flow through the structured logger at debug level,
+        # so `--log-level debug` surfaces them and the default hides
+        # them without discarding anything.
+        obs_log.debug("http.server", message=format % args)
 
 
 def make_server(

@@ -162,12 +162,19 @@ def _name_list(data: Mapping[str, Any], key: str, kind: str) -> tuple[str, ...] 
 @dataclass(frozen=True)
 class AnalyzeRequest:
     """``repro analyze`` / ``POST /v1/analyze``: one robustness report
-    (or the four-settings matrix with ``all_settings``)."""
+    (or the four-settings matrix with ``all_settings``).
+
+    ``profile=True`` additionally collects the per-stage span tree
+    (:mod:`repro.obs.spans`) and echoes it under a ``"profile"`` key in
+    the payload; without the flag the payload is byte-identical to what
+    it has always been (the opt-in-key precedent of ``fault_info``).
+    """
 
     workload: str
     setting: str | None = None
     subset: tuple[str, ...] | None = None
     all_settings: bool = False
+    profile: bool = False
 
     kind = "analyze"
 
@@ -175,13 +182,16 @@ class AnalyzeRequest:
     def from_dict(cls, data: Any) -> "AnalyzeRequest":
         data = _require_mapping(data, f"an {cls.kind} request")
         _reject_unknown_keys(
-            data, ("workload", "setting", "subset", "all_settings"), cls.kind
+            data,
+            ("workload", "setting", "subset", "all_settings", "profile"),
+            cls.kind,
         )
         return cls(
             workload=_string(data, "workload", cls.kind, required=True),
             setting=_string(data, "setting", cls.kind),
             subset=_name_list(data, "subset", cls.kind),
             all_settings=_bool(data, "all_settings", cls.kind, False),
+            profile=_bool(data, "profile", cls.kind, False),
         )
 
     def execute(self, service: "AnalysisService") -> "RobustnessReport | AnalysisMatrix":
@@ -191,7 +201,14 @@ class AnalyzeRequest:
         return session.analyze(_settings(self.setting, self.kind), self.subset)
 
     def payload(self, service: "AnalysisService") -> dict[str, Any]:
-        return self.execute(service).to_dict()
+        if not self.profile:
+            return self.execute(service).to_dict()
+        from repro.obs.spans import profile_scope
+
+        with profile_scope() as collector:
+            payload = self.execute(service).to_dict()
+        payload["profile"] = collector.tree()
+        return payload
 
 
 @dataclass(frozen=True)

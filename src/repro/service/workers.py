@@ -68,6 +68,7 @@ def _child_main(
     quiet: bool,
     on_shutdown: Callable[[AnalysisService], None] | None,
     ready_fd: int,
+    worker_index: int,
 ) -> None:
     """One worker process: build, bind, announce readiness, serve, drain.
 
@@ -77,6 +78,11 @@ def _child_main(
     code = 1
     try:
         placeholder.close()
+        # Tag this worker before the service (and its logger/metrics)
+        # comes up: every log record and the /v1/stats + /v1/metrics
+        # surfaces carry the index, making multi-worker output
+        # attributable under the kernel's reuseport load balancing.
+        os.environ["REPRO_WORKER_INDEX"] = str(worker_index)
         service = service_factory()
         server = make_server(service, host, port, quiet=quiet, reuseport=True)
         os.write(ready_fd, b"1")
@@ -130,7 +136,7 @@ def serve_workers(
     read_fd, write_fd = os.pipe()
     children: list[int] = []
     try:
-        for _ in range(workers):
+        for index in range(workers):
             pid = os.fork()
             if pid == 0:
                 os.close(read_fd)
@@ -142,6 +148,7 @@ def serve_workers(
                     quiet,
                     on_shutdown,
                     write_fd,
+                    index,
                 )
                 raise AssertionError("unreachable")  # pragma: no cover
             children.append(pid)

@@ -70,6 +70,10 @@ from repro.btp.ltp import LTP
 from repro.btp.statement import READ_TRIGGER_TYPES, Statement
 from repro.errors import ProgramError
 from repro.faults.deadline import check_deadline
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs.clock import monotonic
+from repro.obs.spans import span
 from repro.schema import Schema
 from repro.store.blockstore import BlockKey, BlockStore
 from repro.summary import planes
@@ -87,6 +91,16 @@ from repro.summary.tables import (
 
 #: The supported block-construction backends (``jobs > 1`` fan-out).
 BACKENDS = ("thread", "process")
+
+#: Kernel sweep-batch latency, labeled by the backend that ran it (the
+#: per-stage ``repro_stage_seconds{stage="sweep"}`` histogram aggregates
+#: the same durations without the backend split).
+SWEEP_SECONDS = obs_metrics.REGISTRY.histogram(
+    "repro_sweep_seconds",
+    "Wall-clock seconds per sweep batch of the plane-packed kernel, "
+    "by backend.",
+    labelnames=("backend",),
+)
 
 #: Pool-rebuild budget after a process-backend fault: one rebuild with
 #: capped exponential backoff, then degrade to the serial kernel for the
@@ -128,6 +142,11 @@ class ProcessDegradeGuard:
         if self._warned:
             return
         self._warned = True
+        obs_log.warning(
+            "backend.degraded",
+            reason="cpu_count",
+            cpu_count=self.cpu_count(),
+        )
         warnings.warn(
             f"backend='process' degraded to serial block "
             f"construction: only {self.cpu_count()} CPU core(s) "
@@ -147,6 +166,7 @@ class ProcessDegradeGuard:
         if self._fault_warned:
             return
         self._fault_warned = True
+        obs_log.warning("backend.degraded", reason="pool_faults")
         warnings.warn(
             "backend='process' degraded to serial block construction "
             "after repeated worker-pool failures; verdicts are unaffected",
@@ -937,6 +957,15 @@ class EdgeBlockStore:
             except (BrokenProcessPool, OSError) as error:
                 self._fault_recoveries += 1
                 self._last_fault = f"{type(error).__name__}: {error}"
+                # Carries the originating request's trace id (the sweep
+                # runs on the request thread): one id stitches the HTTP
+                # request to the pool crash it survived.
+                obs_log.warning(
+                    "sweep.pool_fault",
+                    attempt=attempt,
+                    retries_left=POOL_REBUILD_ATTEMPTS - attempt,
+                    error=self._last_fault,
+                )
                 self._shutdown_pool()
                 planes.cleanup_segments(self._owner_token)
         self._guard.degrade_for_faults()
@@ -1042,21 +1071,33 @@ class EdgeBlockStore:
             # through to the serial path and silently never fork.
             workers = self._guard.cpu_count()
         involved = {name for pair in missing for name in pair}
-        arena = self._arena_for(involved)
+        with span("pack"):
+            arena = self._arena_for(involved)
         use_fk = self.settings.use_foreign_keys
         plans = planes.plan_sweeps(missing)
         grouped_list = None
-        if backend == "process" and workers > 1 and len(missing) > 1:
-            grouped_list = self._process_sweeps(arena, plans, use_fk, workers)
-        if grouped_list is None:
-            grouped_list = []
-            for plan in plans:
-                check_deadline("block construction")
-                grouped_list.append(
-                    planes.sweep_blocks(
-                        arena, plan.sources, plan.targets, use_fk, self.plane_kernel
+        with span("sweep"):
+            started = monotonic()
+            if backend == "process" and workers > 1 and len(missing) > 1:
+                grouped_list = self._process_sweeps(arena, plans, use_fk, workers)
+            if grouped_list is None:
+                grouped_list = []
+                for plan in plans:
+                    check_deadline("block construction")
+                    grouped_list.append(
+                        planes.sweep_blocks(
+                            arena, plan.sources, plan.targets, use_fk, self.plane_kernel
+                        )
                     )
-                )
+            if obs_metrics.enabled():
+                SWEEP_SECONDS.observe(monotonic() - started, backend)
+        obs_log.debug(
+            "sweep.batch",
+            pairs=len(missing),
+            sweeps=len(plans),
+            backend=backend,
+            workers=workers,
+        )
         for plan, grouped in zip(plans, grouped_list):
             for source in plan.sources:
                 for target in plan.targets:

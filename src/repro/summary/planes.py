@@ -67,6 +67,8 @@ from typing import Iterable, NamedTuple, Sequence
 
 from repro.errors import ProgramError
 from repro.faults import inject as _faults
+from repro.obs import log as obs_log
+from repro.obs.trace import current_trace_id, set_trace_id
 from repro.summary.tables import C_CODE_ROWS, ENTRY_COND, ENTRY_TRUE, NC_CODE_ROWS
 
 try:  # pragma: no cover - exercised via both kernel paths in tests
@@ -908,6 +910,10 @@ def _plane_worker(task: dict) -> int:
         # parent observes a genuine BrokenProcessPool and the pool is
         # genuinely unusable afterwards.
         os._exit(1)
+    # Adopt the originating request's trace id (shipped in the task
+    # descriptor) so anything this worker logs or raises is attributable
+    # to the HTTP request that caused the sweep.
+    set_trace_id(task.get("trace_id"))
     _prune_segments({task["input_name"], task["output_name"]})
     input_segment = _attach_segment(task["input_name"])
     output_segment = _attach_segment(task["output_name"])
@@ -971,6 +977,7 @@ def process_sweep_blocks(
         raise
     try:
         tasks = []
+        trace_id = current_trace_id()
         total_rows = sum(len(sweep["rows"]) for sweep in sweeps) or 1
         for sweep in sweeps:
             rows = sweep["rows"]
@@ -994,6 +1001,7 @@ def process_sweep_blocks(
                         "cf_offset": sweep["cf_offset"],
                         "use_foreign_keys": use_foreign_keys,
                         "kernel": kernel,
+                        "trace_id": trace_id,
                     }
                 )
         if tasks and _faults.fire("worker.kill") is not None:
@@ -1001,6 +1009,12 @@ def process_sweep_blocks(
             # abruptly (os._exit), breaking the pool for real.
             tasks.insert(0, {"kill": True})
         if tasks:
+            obs_log.debug(
+                "sweep.dispatch",
+                tasks=len(tasks),
+                sweeps=len(sweeps),
+                workers=workers,
+            )
             list(pool.map(_plane_worker, tasks))
         results = []
         output = bytes(output_segment.buf)

@@ -1,0 +1,38 @@
+"""A tiny stdlib parser for the Prometheus text exposition format.
+
+Shared by the observability tests and the CI load-smoke scrape: parses
+``name{label="value",...} number`` sample lines (ignoring ``# HELP`` /
+``# TYPE`` comments) into ``{(name, ((label, value), ...)): float}``.
+Raises ``ValueError`` on any line that is not a comment, blank, or a
+well-formed sample — which is the "exposition parses" assertion.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*)\})?'
+    r' (?P<value>[-+0-9.eEinfNa]+)$'
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels = tuple(
+            (name, value.replace('\\"', '"').replace("\\\\", "\\"))
+            for name, value in _LABEL.findall(match.group("labels") or "")
+        )
+        value = match.group("value")
+        samples[(match.group("name"), labels)] = (
+            float("inf") if value == "+Inf" else float(value)
+        )
+    return samples
